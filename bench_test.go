@@ -1,0 +1,305 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark (or
+// family) per table and figure, plus the §5 Firefly projection, ablations
+// of the individual continuation optimizations, and the Go-native
+// validation of the space/time claims.
+//
+// Simulated results are attached as custom metrics (sim-us/op, %, bytes)
+// so `go test -bench` reports both host performance of the simulator and
+// the reproduced numbers. EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/threadmodel"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Tables 1 and 2: workload block statistics.
+// ---------------------------------------------------------------------
+
+func benchWorkload(b *testing.B, spec workload.Spec, scale float64) {
+	var res experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.RunWorkload(spec, scale, 12345)
+	}
+	total := res.TotalBlocks
+	b.ReportMetric(stats.Percent(res.Blocks[stats.BlockReceive], total), "%receive")
+	b.ReportMetric(stats.Percent(res.Blocks[stats.BlockException], total), "%exception")
+	b.ReportMetric(stats.Percent(res.Blocks[stats.BlockPreempt], total), "%preempt")
+	b.ReportMetric(stats.Percent(res.Blocks[stats.BlockInternal], total), "%internal")
+	b.ReportMetric(stats.Percent(total-res.NoDiscards, total), "%discard")
+	b.ReportMetric(stats.Percent(res.Handoffs, total), "%handoff")
+	b.ReportMetric(stats.Percent(res.Recognitions, total), "%recognition")
+	b.ReportMetric(res.StacksAvg, "stacks-avg")
+}
+
+// BenchmarkTable1And2_CompileTest reproduces the Compile Test columns of
+// Tables 1 and 2 (paper: 83.4% receive, 98.4% discard, 96.8% handoff,
+// 60.2% recognition).
+func BenchmarkTable1And2_CompileTest(b *testing.B) {
+	benchWorkload(b, workload.CompileTest(), 0.5)
+}
+
+// BenchmarkTable1And2_KernelBuild reproduces the Kernel Build columns
+// (paper: 86.3% receive, 99.9% discard, 99.7% handoff, 72.3%
+// recognition).
+func BenchmarkTable1And2_KernelBuild(b *testing.B) {
+	benchWorkload(b, workload.KernelBuild(), 0.02)
+}
+
+// BenchmarkTable1And2_DOSEmulation reproduces the DOS Emulation columns
+// (paper: 55.2% receive, 37.9% exception, 100% discard and handoff,
+// 85.9% recognition).
+func BenchmarkTable1And2_DOSEmulation(b *testing.B) {
+	benchWorkload(b, workload.DOSEmulation(), 0.1)
+}
+
+// ---------------------------------------------------------------------
+// Table 3: null RPC and exception latency, all six cells each.
+// ---------------------------------------------------------------------
+
+func benchNullRPC(b *testing.B, flavor kern.Flavor, arch machine.Arch) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = experiments.NullRPC(flavor, arch, 200)
+	}
+	paper, _ := experiments.PaperTable3(arch, flavor)
+	b.ReportMetric(us, "sim-us/rpc")
+	b.ReportMetric(paper, "paper-us/rpc")
+}
+
+func benchException(b *testing.B, flavor kern.Flavor, arch machine.Arch) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = experiments.ExceptionRTT(flavor, arch, 200)
+	}
+	_, paper := experiments.PaperTable3(arch, flavor)
+	b.ReportMetric(us, "sim-us/exc")
+	b.ReportMetric(paper, "paper-us/exc")
+}
+
+func BenchmarkTable3_NullRPC(b *testing.B) {
+	for _, arch := range experiments.Arches {
+		for _, flavor := range experiments.Flavors {
+			b.Run(fmt.Sprintf("%v/%v", arch, flavor), func(b *testing.B) {
+				benchNullRPC(b, flavor, arch)
+			})
+		}
+	}
+}
+
+func BenchmarkTable3_Exception(b *testing.B) {
+	for _, arch := range experiments.Arches {
+		for _, flavor := range experiments.Flavors {
+			b.Run(fmt.Sprintf("%v/%v", arch, flavor), func(b *testing.B) {
+				benchException(b, flavor, arch)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 4: component costs (handoff vs context switch).
+// ---------------------------------------------------------------------
+
+// BenchmarkTable4_Components reports the modeled time of the paper's
+// measured components on the DS3100: stack handoff (83/22/18) versus
+// context switch (250/52/27).
+func BenchmarkTable4_Components(b *testing.B) {
+	m := machine.NewCostModel(machine.ArchDS3100)
+	tc := machine.TransferCostsFor(m, true)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = m.TimeMicros(tc.StackHandoff) + m.TimeMicros(tc.ContextSwitch)
+	}
+	_ = sink
+	b.ReportMetric(m.TimeMicros(tc.StackHandoff), "handoff-us")
+	b.ReportMetric(m.TimeMicros(tc.ContextSwitch), "ctxswitch-us")
+	b.ReportMetric(m.TimeMicros(tc.SyscallEntry), "entry-us")
+	b.ReportMetric(m.TimeMicros(tc.SyscallExit), "exit-us")
+}
+
+// ---------------------------------------------------------------------
+// Table 5: per-thread kernel memory.
+// ---------------------------------------------------------------------
+
+// BenchmarkTable5_ThreadOverhead parks a population of receivers on both
+// kernels and reports measured bytes per thread (paper: 690 vs 4664, an
+// 85% saving).
+func BenchmarkTable5_ThreadOverhead(b *testing.B) {
+	var rows []experiments.Table5Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table5(50)
+	}
+	b.ReportMetric(rows[0].MeasuredPerThread, "mk40-B/thread")
+	b.ReportMetric(rows[1].MeasuredPerThread, "mk32-B/thread")
+	b.ReportMetric(100*(1-rows[0].MeasuredPerThread/rows[1].MeasuredPerThread), "%saving")
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: the fast RPC path.
+// ---------------------------------------------------------------------
+
+// BenchmarkFigure2_FastRPCPath drives steady-state fast RPCs and checks
+// the signature of the path: handoff and recognition on every transfer,
+// no queueing.
+func BenchmarkFigure2_FastRPCPath(b *testing.B) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = experiments.NullRPC(kern.MK40, machine.ArchDS3100, 200)
+	}
+	b.ReportMetric(us, "sim-us/rpc")
+	tr := experiments.Figure2Trace()
+	if !tr.Has(stats.TraceStackHandoff) || !tr.Has(stats.TraceRecognition) {
+		b.Fatal("fast path signature missing from trace")
+	}
+	if tr.Has(stats.TraceQueueMessage) || tr.Has(stats.TraceContextSwitch) {
+		b.Fatal("fast path queued or context switched")
+	}
+}
+
+// ---------------------------------------------------------------------
+// §5: the Firefly projection.
+// ---------------------------------------------------------------------
+
+// BenchmarkFirefly886Threads blocks 886 threads on a 5-CPU machine and
+// reports the stack census (paper: 6 stacks in Mach with continuations;
+// Topaz measured 212; one per thread without).
+func BenchmarkFirefly886Threads(b *testing.B) {
+	var mk40, mk32 experiments.FireflyResult
+	for i := 0; i < b.N; i++ {
+		mk40 = experiments.Firefly886(kern.MK40)
+	}
+	mk32 = experiments.Firefly886(kern.MK32)
+	b.ReportMetric(float64(mk40.StacksInUse), "mk40-stacks")
+	b.ReportMetric(float64(mk32.StacksInUse), "mk32-stacks")
+}
+
+// ---------------------------------------------------------------------
+// Ablations: which optimization buys what (§2.3's three techniques).
+// ---------------------------------------------------------------------
+
+// ablationRPC measures null RPC with individual optimizations disabled.
+func ablationRPC(b *testing.B, noHandoff, noRecognition bool) {
+	var us float64
+	for i := 0; i < b.N; i++ {
+		us = ablationNullRPC(noHandoff, noRecognition)
+	}
+	b.ReportMetric(us, "sim-us/rpc")
+}
+
+func ablationNullRPC(noHandoff, noRecognition bool) float64 {
+	sys := kern.New(kern.Config{
+		Flavor:         kern.MK40,
+		Arch:           machine.ArchDS3100,
+		DisableCallout: true,
+		NoHandoff:      noHandoff,
+		NoRecognition:  noRecognition,
+	})
+	return experiments.NullRPCOn(sys, 200)
+}
+
+// BenchmarkAblation_Full is the complete MK40 (baseline for the family).
+func BenchmarkAblation_Full(b *testing.B) { ablationRPC(b, false, false) }
+
+// BenchmarkAblation_NoRecognition keeps handoff but always calls the
+// saved continuation instead of completing inline.
+func BenchmarkAblation_NoRecognition(b *testing.B) { ablationRPC(b, false, true) }
+
+// BenchmarkAblation_NoHandoff keeps stack discarding but frees and
+// re-attaches stacks on every transfer instead of handing them over.
+func BenchmarkAblation_NoHandoff(b *testing.B) { ablationRPC(b, true, false) }
+
+// BenchmarkAblation_NoHandoffNoRecognition disables both: continuations
+// only buy stack discarding.
+func BenchmarkAblation_NoHandoffNoRecognition(b *testing.B) { ablationRPC(b, true, true) }
+
+// ---------------------------------------------------------------------
+// Go-native validation (real measurements, not simulation).
+// ---------------------------------------------------------------------
+
+// BenchmarkGoNative_GoroutineSwitch measures a real channel ping-pong
+// hop: the goroutine-model control transfer.
+func BenchmarkGoNative_GoroutineSwitch(b *testing.B) {
+	ping := make(chan struct{})
+	pong := make(chan struct{})
+	go func() {
+		for range ping {
+			pong <- struct{}{}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ping <- struct{}{}
+		<-pong
+	}
+	b.StopTimer()
+	close(ping)
+}
+
+// BenchmarkGoNative_ContinuationCall measures the continuation-model
+// transfer: store a resumption, call it.
+func BenchmarkGoNative_ContinuationCall(b *testing.B) {
+	a := &threadmodel.Record{ID: 0}
+	c := &threadmodel.Record{ID: 1}
+	var cur *threadmodel.Record
+	a.Cont = func(*threadmodel.Record) { cur = c }
+	c.Cont = func(*threadmodel.Record) { cur = a }
+	cur = a
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := cur.Cont
+		cur.State++
+		f(cur)
+	}
+}
+
+// BenchmarkGoNative_BlockedSpace reports measured bytes per blocked
+// goroutine versus per continuation record.
+func BenchmarkGoNative_BlockedSpace(b *testing.B) {
+	var c threadmodel.Comparison
+	for i := 0; i < b.N; i++ {
+		c = threadmodel.Measure(1000, 8, 1000)
+	}
+	b.ReportMetric(c.GoroutineBytes, "goroutine-B")
+	b.ReportMetric(c.RecordBytes, "record-B")
+	b.ReportMetric(c.SpaceRatio, "space-ratio")
+}
+
+// ---------------------------------------------------------------------
+// Simulator host performance (how fast the simulation itself runs).
+// ---------------------------------------------------------------------
+
+// BenchmarkSimulatorThroughput reports host time per simulated fast RPC.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sys := kern.New(kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true})
+	experiments.SetupNullRPC(sys, b.N)
+	b.ResetTimer()
+	sys.Run(0)
+}
+
+// ---------------------------------------------------------------------
+// Message-size sweep: inline copy vs out-of-line COW transfer.
+// ---------------------------------------------------------------------
+
+// BenchmarkMessageSizeSweep reports RPC latency against body size for
+// both transfer modes; the crossover shows where Mach's out-of-line
+// large-message path starts winning.
+func BenchmarkMessageSizeSweep(b *testing.B) {
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.MessageSizeSweep([]int{64, 1024, 8192, 65536}, 50)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.InlineUs, fmt.Sprintf("inline-%dB-us", r.SizeBytes))
+		b.ReportMetric(r.OOLUs, fmt.Sprintf("ool-%dB-us", r.SizeBytes))
+	}
+}

@@ -1,0 +1,119 @@
+// machsim runs one of the paper's workloads on a chosen kernel flavor
+// and machine, then prints the control-transfer statistics in the format
+// of Tables 1 and 2.
+//
+// Usage:
+//
+//	machsim [-workload compile|build|dos] [-flavor mk40|mk32|mach25]
+//	        [-arch ds3100|toshiba] [-scale f] [-seed n] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var (
+	workloadName = flag.String("workload", "compile", "compile, build, or dos")
+	flavorName   = flag.String("flavor", "mk40", "mk40, mk32, or mach25")
+	archName     = flag.String("arch", "toshiba", "ds3100 or toshiba")
+	scale        = flag.Float64("scale", 0.25, "fraction of the paper's duration to simulate")
+	seed         = flag.Uint64("seed", 12345, "workload random seed")
+	verbose      = flag.Bool("v", false, "also print per-component detail")
+)
+
+func main() {
+	flag.Parse()
+
+	var spec workload.Spec
+	switch *workloadName {
+	case "compile":
+		spec = workload.CompileTest()
+	case "build":
+		spec = workload.KernelBuild()
+	case "dos":
+		spec = workload.DOSEmulation()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadName)
+		os.Exit(2)
+	}
+
+	var flavor kern.Flavor
+	switch *flavorName {
+	case "mk40":
+		flavor = kern.MK40
+	case "mk32":
+		flavor = kern.MK32
+	case "mach25":
+		flavor = kern.Mach25
+	default:
+		fmt.Fprintf(os.Stderr, "unknown flavor %q\n", *flavorName)
+		os.Exit(2)
+	}
+
+	var arch machine.Arch
+	switch *archName {
+	case "ds3100":
+		arch = machine.ArchDS3100
+	case "toshiba":
+		arch = machine.ArchToshiba5200
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archName)
+		os.Exit(2)
+	}
+
+	sys, inst := workload.Run(flavor, arch, spec.Scale(*scale), *seed)
+	st := sys.K.Stats
+	total := st.TotalBlocks()
+
+	fmt.Printf("%s on %v/%v — %.0f simulated seconds (scale %.2f), %d blocking operations\n\n",
+		spec.Name, flavor, arch, sys.K.Clock.Now().Seconds(), *scale, total)
+
+	fmt.Printf("%-20s %12s %8s\n", "operation", "blocks", "%")
+	for _, r := range stats.DiscardReasons {
+		n := st.BlocksWithDiscard[r]
+		fmt.Printf("%-20s %12d %7.1f%%\n", r, n, stats.Percent(n, total))
+	}
+	fmt.Printf("%-20s %12d %7.1f%%\n", "total stack discards",
+		st.TotalDiscards(), stats.Percent(st.TotalDiscards(), total))
+	fmt.Printf("%-20s %12d %7.1f%%\n", "no stack discards",
+		st.TotalNoDiscards(), stats.Percent(st.TotalNoDiscards(), total))
+
+	fmt.Printf("\n%-20s %12d %7.1f%%\n", "stack handoff", st.Handoffs,
+		stats.Percent(st.Handoffs, total))
+	fmt.Printf("%-20s %12d %7.1f%%\n", "recognition", st.Recognitions,
+		stats.Percent(st.Recognitions, total))
+
+	fmt.Printf("\nkernel stacks: %.3f average in use, %d worst case, %d threads live\n",
+		sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse(), sys.K.LiveThreads())
+	fmt.Printf("per-thread kernel memory now: %.0f bytes (static %v: %d bytes)\n",
+		sys.MeasuredPerThreadBytes(), flavor, flavor.StaticThreadSpace().Total())
+
+	if *verbose {
+		fmt.Printf("\ndetail:\n")
+		fmt.Printf("  context switches      %12d\n", st.ContextSwitches)
+		fmt.Printf("  continuation calls    %12d\n", st.ContinuationCalls)
+		fmt.Printf("  stack attaches        %12d\n", st.StackAttaches)
+		fmt.Printf("  run-queue traffic     %12d enq / %d deq\n", sys.Sched.Enqueues, sys.Sched.Dequeues)
+		fmt.Printf("  vm: disk faults       %12d\n", sys.VM.DiskFaults)
+		fmt.Printf("  vm: evictions         %12d\n", sys.VM.Evictions)
+		fmt.Printf("  ipc: fast RPCs        %12d\n", sys.IPC.FastRPCs)
+		fmt.Printf("  ipc: queued sends     %12d\n", sys.IPC.QueuedSends)
+		fmt.Printf("  exc: fast raises      %12d\n", sys.Exc.FastRaises)
+		var handled uint64
+		for _, s := range inst.Servers {
+			handled += s.Handled
+		}
+		fmt.Printf("  server requests       %12d\n", handled)
+		if inst.ExcServer != nil {
+			fmt.Printf("  exceptions handled    %12d\n", inst.ExcServer.Handled)
+		}
+		fmt.Printf("  user time             %12.0f ms\n", float64(sys.K.UserTime)/1e6)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces Draves, Bershad, Dean and Rashid, "Using
+// Continuations to Implement Thread Management and Communication in
+// Operating Systems" (SOSP 1991), as a deterministic Go simulation of the
+// Mach 3.0 kernel and its evaluation.
+//
+// The public API lives in repro/mach; the substrates (control-transfer
+// core, scheduler, IPC, VM, exceptions, workloads) live under
+// repro/internal. The benchmarks in this package regenerate every table
+// and figure of the paper's evaluation; see EXPERIMENTS.md for the
+// side-by-side results and DESIGN.md for the system inventory.
+package repro

@@ -1,0 +1,87 @@
+// async_server demonstrates the §4 generalizations built on
+// continuations: a pool of threads parked in the kernel serves
+// kernel-to-user upcalls (x-kernel / Scheduler Activations style), and
+// asynchronous disk I/O completes by replacing the waiting thread's
+// continuation with the I/O's own completion continuation.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/upcall"
+)
+
+func main() {
+	sys := kern.New(kern.Config{
+		Flavor: kern.MK40,
+		Arch:   machine.ArchDS3100,
+	})
+
+	// --- Upcalls -----------------------------------------------------
+	svcTask := sys.NewTask("packet-filter")
+	pool := upcall.NewPool(sys, svcTask, 3)
+	sys.Run(0) // park the pool
+
+	fmt.Printf("upcall pool parked: %d threads, %d kernel stacks in use\n",
+		pool.Idle(), sys.K.Stacks.InUse()-1) // -1: the callout thread's stack
+
+	// Simulated network packets arrive; each is dispatched as an upcall
+	// into user space on a pooled thread.
+	packets := 0
+	for burst := 0; burst < 4; burst++ {
+		for i := 0; i < 3; i++ {
+			pool.Upcall(func() core.Action {
+				packets++
+				return core.RunFor(8000) // user-level packet processing
+			})
+		}
+		sys.Run(0)
+	}
+	fmt.Printf("dispatched %d packet upcalls (%d overflowed), pool idle again: %d\n",
+		pool.Upcalls, pool.Overflows, pool.Idle())
+
+	// --- Asynchronous I/O --------------------------------------------
+	aio := upcall.NewAsyncIO(sys)
+	appTask := sys.NewTask("database")
+
+	var completions []string
+	mkDone := func(name string) *core.Continuation {
+		return core.NewContinuation("io_done_"+name, func(e *core.Env) {
+			completions = append(completions, name)
+			e.K.ThreadSyscallReturn(e, 0)
+		})
+	}
+
+	step := 0
+	prog := core.ProgramFunc(func(e *core.Env, t *core.Thread) core.Action {
+		step++
+		switch step {
+		case 1:
+			return core.Syscall("aio_submit", func(e *core.Env) {
+				// Three reads in flight at once; the thread keeps
+				// computing while the disk works.
+				aio.Submit(e, machine.Duration(3_000_000), mkDone("index"))
+				aio.Submit(e, machine.Duration(5_000_000), mkDone("btree"))
+				aio.Submit(e, machine.Duration(7_000_000), mkDone("log"))
+				e.K.ThreadSyscallReturn(e, 0)
+			})
+		case 2:
+			return core.RunFor(40_000) // overlap compute with I/O
+		case 3, 4, 5:
+			return core.Syscall("aio_wait", func(e *core.Env) { aio.Wait(e) })
+		default:
+			return core.Exit()
+		}
+	})
+	sys.Start(appTask.NewThread("query", prog, 10))
+	sys.Run(0)
+
+	fmt.Printf("\nasync I/O: %d submitted, %d completed, order %v\n",
+		aio.Submitted, aio.Completed, completions)
+	fmt.Printf("continuation replacements: %d (completion swapped in for the\n"+
+		"generic wait continuation while the thread slept — §4's mechanism)\n",
+		aio.Replacements)
+}

@@ -1,0 +1,123 @@
+package core
+
+import "testing"
+
+func TestNewContinuationValidation(t *testing.T) {
+	if c := NewContinuation("x", func(*Env) {}); c.Name() != "x" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	for _, bad := range []struct {
+		name string
+		fn   func(*Env)
+	}{{"", func(*Env) {}}, {"x", nil}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewContinuation(%q, fn=%v) did not panic", bad.name, bad.fn != nil)
+				}
+			}()
+			NewContinuation(bad.name, bad.fn)
+		}()
+	}
+}
+
+func TestContinuationNilName(t *testing.T) {
+	var c *Continuation
+	if c.Name() != "<none>" {
+		t.Fatalf("nil Name = %q", c.Name())
+	}
+}
+
+func TestContinuationIdentity(t *testing.T) {
+	a := NewContinuation("same", func(*Env) {})
+	b := NewContinuation("same", func(*Env) {})
+	if a == b {
+		t.Fatal("distinct continuations compare equal")
+	}
+	c := a
+	if c != a {
+		t.Fatal("identical continuations compare unequal")
+	}
+}
+
+func TestScratchWords(t *testing.T) {
+	var s Scratch
+	s.PutWord(0, 7)
+	s.PutWord(6, 0xdeadbeef)
+	if s.Word(0) != 7 || s.Word(6) != 0xdeadbeef {
+		t.Fatal("scratch word round trip failed")
+	}
+	if s.Used() != 2 {
+		t.Fatalf("Used = %d", s.Used())
+	}
+}
+
+func TestScratchRefs(t *testing.T) {
+	var s Scratch
+	type msg struct{ n int }
+	m := &msg{n: 3}
+	s.PutRef(2, m)
+	got, ok := s.Ref(2).(*msg)
+	if !ok || got != m {
+		t.Fatal("scratch ref round trip failed")
+	}
+}
+
+func TestScratchOverwriteChangesKind(t *testing.T) {
+	var s Scratch
+	s.PutRef(1, "obj")
+	s.PutWord(1, 9)
+	if s.Ref(1) != nil {
+		t.Fatal("PutWord did not clear the ref")
+	}
+	if s.Word(1) != 9 {
+		t.Fatal("word lost")
+	}
+	if s.Used() != 1 {
+		t.Fatalf("Used = %d", s.Used())
+	}
+}
+
+func TestScratchBoundsEnforced(t *testing.T) {
+	// The 28-byte limit is the paper's: seven 4-byte slots, no more.
+	if ScratchBytes != 28 {
+		t.Fatalf("ScratchBytes = %d, want 28", ScratchBytes)
+	}
+	var s Scratch
+	for _, f := range []func(){
+		func() { s.PutWord(7, 1) },
+		func() { s.PutWord(-1, 1) },
+		func() { s.PutRef(ScratchSlots, nil) },
+		func() { s.Word(7) },
+		func() { s.Ref(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range scratch access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScratchReadBeforeWritePanics(t *testing.T) {
+	var s Scratch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read of unwritten slot did not panic")
+		}
+	}()
+	s.Word(3)
+}
+
+func TestScratchReset(t *testing.T) {
+	var s Scratch
+	s.PutWord(0, 1)
+	s.PutRef(1, "r")
+	s.Reset()
+	if s.Used() != 0 {
+		t.Fatalf("Used after Reset = %d", s.Used())
+	}
+}

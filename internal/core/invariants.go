@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Validate checks the kernel's structural invariants (DESIGN.md §6).
+// It returns the first violation found, or nil. The checker is meant to
+// run between dispatcher steps — the only points where the machine is in
+// a consistent state — and is used by the randomized stress tests.
+func (k *Kernel) Validate() error {
+	// Every processor's current thread is running, has a stack, and is
+	// not simultaneously queued.
+	running := make(map[*Thread]*Processor)
+	for _, p := range k.Procs {
+		t := p.Cur
+		if t == nil {
+			continue
+		}
+		if prev, dup := running[t]; dup {
+			return fmt.Errorf("thread %v current on processors %d and %d", t, prev.ID, p.ID)
+		}
+		running[t] = p
+		if t.State != StateRunning {
+			return fmt.Errorf("current %v in state %v", t, t.State)
+		}
+		if t.Stack == nil {
+			return fmt.Errorf("running %v has no kernel stack", t)
+		}
+		if t.queued {
+			return fmt.Errorf("running %v still on a run queue", t)
+		}
+	}
+
+	stackOwners := make(map[*machine.Stack]*Thread)
+	var attached int
+	for _, t := range k.Threads {
+		if t.Stack != nil {
+			if other, dup := stackOwners[t.Stack]; dup {
+				return fmt.Errorf("stack %d owned by both %v and %v", t.Stack.ID, other, t)
+			}
+			stackOwners[t.Stack] = t
+			attached++
+			if t.Stack.Owner() != machine.OwnerThread {
+				return fmt.Errorf("stack %d attached to %v but owned by %v",
+					t.Stack.ID, t, t.Stack.Owner())
+			}
+		}
+
+		switch t.State {
+		case StateRunning:
+			if _, ok := running[t]; !ok {
+				return fmt.Errorf("%v running but current on no processor", t)
+			}
+			// A running thread has consumed its continuation.
+			if t.Cont != nil {
+				return fmt.Errorf("running %v still carries continuation %v", t, t.Cont)
+			}
+		case StateRunnable:
+			// Runnable threads are queued, or in the brief window where
+			// thread_dispatch will queue them (their disposer's pending
+			// step has not run yet); that window also permits a stale
+			// stack awaiting disposal.
+		case StateWaiting:
+			if t.Cont != nil && t.Stack != nil && !t.disposalPending {
+				return fmt.Errorf("waiting %v holds both continuation %v and stack %d outside the disposal window",
+					t, t.Cont, t.Stack.ID)
+			}
+			if t.Cont == nil && t.Stack != nil && t.Stack.FrameCount() == 0 && !t.disposalPending {
+				return fmt.Errorf("waiting %v holds a frame-less stack %d and no continuation",
+					t, t.Stack.ID)
+			}
+			if t.Cont == nil && t.Stack == nil {
+				return fmt.Errorf("waiting %v has neither continuation nor stack: unresumable", t)
+			}
+		case StateHalted:
+			if t.queued {
+				return fmt.Errorf("halted %v on a run queue", t)
+			}
+		}
+
+		if t.queued && t.State != StateRunnable {
+			return fmt.Errorf("%v queued in state %v", t, t.State)
+		}
+		if t.Scratch.Used() > ScratchSlots {
+			return fmt.Errorf("%v scratch overflow", t)
+		}
+	}
+
+	// The pool's accounting matches the attachments: every in-use stack
+	// is attached to exactly one thread (the transit state is internal
+	// to a dispatcher step and never visible here).
+	if got := k.Stacks.InUse(); got != attached {
+		return fmt.Errorf("stack pool reports %d in use, %d attached to threads", got, attached)
+	}
+	return nil
+}
+
+// MustValidate panics on an invariant violation; used in tests.
+func (k *Kernel) MustValidate() {
+	if err := k.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invariant violated: %v", err))
+	}
+}

@@ -1,0 +1,310 @@
+// Package cthreads is the user-level threads package of §1.3, extended
+// with the §6 future work: user-level threads (cthreads) multiplexed on
+// one kernel thread may block with user-level continuations, discarding
+// their user stacks and making user-level switches cheap, instead of
+// preserving a full user stack per blocked cthread.
+//
+// The package mirrors the kernel trade-off one level up:
+//
+//   - stack model: every cthread owns a StackBytes user stack for its
+//     lifetime; a user-level switch saves and restores register state.
+//   - continuation model: a cthread blocked on a condition variable holds
+//     only its closure state; the runtime keeps one stack per running
+//     cthread and switches by calling the next thread's continuation.
+//
+// The runtime itself is a core.UserProgram: it runs inside a single
+// kernel-level thread of the simulated system, issuing CPU bursts for
+// user computation and kernel actions when a cthread needs the kernel.
+package cthreads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// StackBytes is the user-level stack size of one cthread.
+const StackBytes = 16 * 1024
+
+// Switch costs in user CPU cycles: calling a continuation versus a full
+// user-level register save/restore plus stack switch.
+const (
+	contSwitchCycles  = 40
+	stackSwitchCycles = 190
+)
+
+// State is a cthread's scheduling state.
+type State int
+
+const (
+	Ready State = iota
+	Running
+	Blocked
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// OpKind enumerates the actions a cthread can take.
+type OpKind int
+
+const (
+	// OpCompute burns user CPU.
+	OpCompute OpKind = iota
+	// OpWait blocks on a condition variable.
+	OpWait
+	// OpSignal wakes one waiter of a condition variable.
+	OpSignal
+	// OpBroadcast wakes all waiters.
+	OpBroadcast
+	// OpYield gives up the processor to the next ready cthread.
+	OpYield
+	// OpKernel performs a kernel-level action (the whole kernel thread
+	// blocks if the action does).
+	OpKernel
+	// OpExit ends the cthread.
+	OpExit
+)
+
+// Op is one cthread step.
+type Op struct {
+	Kind   OpKind
+	Cycles uint64
+	Cond   *Cond
+	Action core.Action
+}
+
+// Compute, Wait, Signal, Yield, Kernel and ExitOp build Ops.
+func Compute(cycles uint64) Op { return Op{Kind: OpCompute, Cycles: cycles} }
+func Wait(c *Cond) Op          { return Op{Kind: OpWait, Cond: c} }
+func Signal(c *Cond) Op        { return Op{Kind: OpSignal, Cond: c} }
+func Broadcast(c *Cond) Op     { return Op{Kind: OpBroadcast, Cond: c} }
+func Yield() Op                { return Op{Kind: OpYield} }
+func Kernel(a core.Action) Op  { return Op{Kind: OpKernel, Action: a} }
+func ExitOp() Op               { return Op{Kind: OpExit} }
+
+// Program generates a cthread's steps.
+type Program func(c *CThread) Op
+
+// CThread is one user-level thread.
+type CThread struct {
+	ID    int
+	Name  string
+	State State
+
+	// Step counts calls into the program, for program state machines.
+	Step int
+
+	prog Program
+
+	// hasStack reports whether the cthread currently owns a user stack
+	// (always true in the stack model while not Done; only while running
+	// or ready in the continuation model... see Runtime accounting).
+	hasStack bool
+}
+
+// Cond is a user-level condition variable.
+type Cond struct {
+	Name    string
+	waiters []*CThread
+}
+
+// Waiters reports how many cthreads wait on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Runtime multiplexes cthreads on one kernel thread.
+type Runtime struct {
+	// UseContinuations selects the §6 extension.
+	UseContinuations bool
+
+	threads []*CThread
+	runq    []*CThread
+	cur     *CThread
+
+	nextID int
+
+	// stacksInUse counts live user stacks; MaxStacks is the high-water
+	// mark.
+	stacksInUse int
+	MaxStacks   int
+
+	// Switches counts user-level thread switches; SwitchCycles the user
+	// CPU they consumed.
+	Switches     uint64
+	SwitchCycles uint64
+
+	// Deadlocked is set if every live cthread blocked with nothing
+	// runnable (and no kernel action pending to unblock them).
+	Deadlocked bool
+}
+
+// New creates a runtime. Wrap it in a kernel thread via its Program
+// method (it implements core.UserProgram).
+func New(useContinuations bool) *Runtime {
+	return &Runtime{UseContinuations: useContinuations}
+}
+
+// NewCond creates a condition variable.
+func (rt *Runtime) NewCond(name string) *Cond { return &Cond{Name: name} }
+
+// Spawn creates a ready cthread.
+func (rt *Runtime) Spawn(name string, prog Program) *CThread {
+	rt.nextID++
+	c := &CThread{ID: rt.nextID, Name: name, State: Ready, prog: prog}
+	rt.threads = append(rt.threads, c)
+	rt.runq = append(rt.runq, c)
+	rt.allocStack(c)
+	return c
+}
+
+// allocStack accounts a user stack for c.
+func (rt *Runtime) allocStack(c *CThread) {
+	if c.hasStack {
+		return
+	}
+	c.hasStack = true
+	rt.stacksInUse++
+	if rt.stacksInUse > rt.MaxStacks {
+		rt.MaxStacks = rt.stacksInUse
+	}
+}
+
+// releaseStack returns c's user stack.
+func (rt *Runtime) releaseStack(c *CThread) {
+	if !c.hasStack {
+		return
+	}
+	c.hasStack = false
+	rt.stacksInUse--
+}
+
+// StacksInUse reports live user stacks.
+func (rt *Runtime) StacksInUse() int { return rt.stacksInUse }
+
+// Live reports non-Done cthreads.
+func (rt *Runtime) Live() int {
+	n := 0
+	for _, c := range rt.threads {
+		if c.State != Done {
+			n++
+		}
+	}
+	return n
+}
+
+// PerThreadBytes reports average user memory per live cthread: the
+// user-level analogue of Table 5.
+func (rt *Runtime) PerThreadBytes() float64 {
+	live := rt.Live()
+	if live == 0 {
+		return 0
+	}
+	const descriptorBytes = 96 // cthread structure + saved context slot
+	return descriptorBytes + float64(rt.stacksInUse*StackBytes)/float64(live)
+}
+
+// switchTo makes c the running cthread, charging the model's switch
+// cost. Returns the cycles consumed.
+func (rt *Runtime) switchTo(c *CThread) uint64 {
+	rt.cur = c
+	c.State = Running
+	rt.allocStack(c)
+	rt.Switches++
+	cost := uint64(stackSwitchCycles)
+	if rt.UseContinuations {
+		cost = contSwitchCycles
+	}
+	rt.SwitchCycles += cost
+	return cost
+}
+
+// Next implements core.UserProgram: run the current cthread's next step,
+// scheduling between cthreads as they block and wake.
+func (rt *Runtime) Next(e *core.Env, t *core.Thread) core.Action {
+	var switchCycles uint64
+	for {
+		if rt.cur == nil {
+			if len(rt.runq) == 0 {
+				if rt.Live() == 0 {
+					return core.Exit()
+				}
+				// Every live cthread is blocked on a user-level
+				// condition no one can signal: deadlock at user level.
+				rt.Deadlocked = true
+				return core.Exit()
+			}
+			c := rt.runq[0]
+			rt.runq = rt.runq[1:]
+			switchCycles += rt.switchTo(c)
+		}
+		c := rt.cur
+		c.Step++
+		op := c.prog(c)
+		switch op.Kind {
+		case OpCompute:
+			return core.RunFor(op.Cycles + switchCycles)
+		case OpWait:
+			c.State = Blocked
+			op.Cond.waiters = append(op.Cond.waiters, c)
+			if rt.UseContinuations {
+				// Block with a user-level continuation: the stack is
+				// discarded; the closure state in the Program is all
+				// that survives.
+				rt.releaseStack(c)
+			}
+			rt.cur = nil
+		case OpSignal:
+			rt.wakeOne(op.Cond)
+		case OpBroadcast:
+			for len(op.Cond.waiters) > 0 {
+				rt.wakeOne(op.Cond)
+			}
+		case OpYield:
+			c.State = Ready
+			rt.runq = append(rt.runq, c)
+			rt.cur = nil
+		case OpKernel:
+			// The kernel-level action runs on the (single) kernel
+			// thread; if it blocks, the whole runtime blocks — the §1.3
+			// limitation that motivated the kernel-level solution.
+			if switchCycles > 0 {
+				act := op.Action
+				_ = act
+			}
+			return op.Action
+		case OpExit:
+			c.State = Done
+			rt.releaseStack(c)
+			rt.cur = nil
+		default:
+			panic(fmt.Sprintf("cthreads: unknown op %d", op.Kind))
+		}
+	}
+}
+
+// wakeOne moves one waiter to the run queue.
+func (rt *Runtime) wakeOne(cv *Cond) {
+	for len(cv.waiters) > 0 {
+		c := cv.waiters[0]
+		cv.waiters = cv.waiters[1:]
+		if c.State != Blocked {
+			continue
+		}
+		c.State = Ready
+		rt.runq = append(rt.runq, c)
+		return
+	}
+}

@@ -1,0 +1,220 @@
+package cthreads_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+)
+
+func newSys(t *testing.T) *kern.System {
+	t.Helper()
+	return kern.New(kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true})
+}
+
+// runRuntime hosts the runtime in one kernel thread and drives the
+// system to quiescence.
+func runRuntime(t *testing.T, sys *kern.System, rt *cthreads.Runtime) {
+	t.Helper()
+	task := sys.NewTask("cthreads-app")
+	sys.Start(task.NewThread("vcpu", rt, 10))
+	sys.Run(0)
+}
+
+func TestComputeAndExit(t *testing.T) {
+	sys := newSys(t)
+	rt := cthreads.New(true)
+	var steps int
+	rt.Spawn("worker", func(c *cthreads.CThread) cthreads.Op {
+		steps++
+		if c.Step > 3 {
+			return cthreads.ExitOp()
+		}
+		return cthreads.Compute(1000)
+	})
+	runRuntime(t, sys, rt)
+	if steps != 4 || rt.Live() != 0 {
+		t.Fatalf("steps=%d live=%d", steps, rt.Live())
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	for _, useCont := range []bool{true, false} {
+		sys := newSys(t)
+		rt := cthreads.New(useCont)
+		full := rt.NewCond("full")
+		empty := rt.NewCond("empty")
+		var queue []int
+		var consumed []int
+
+		rt.Spawn("producer", func(c *cthreads.CThread) cthreads.Op {
+			switch {
+			case c.Step > 20:
+				return cthreads.ExitOp()
+			case c.Step%2 == 1:
+				queue = append(queue, c.Step)
+				return cthreads.Signal(full)
+			default:
+				return cthreads.Compute(500)
+			}
+		})
+		rt.Spawn("consumer", func(c *cthreads.CThread) cthreads.Op {
+			if len(consumed) >= 10 {
+				return cthreads.ExitOp()
+			}
+			if len(queue) == 0 {
+				return cthreads.Wait(full)
+			}
+			consumed = append(consumed, queue[0])
+			queue = queue[1:]
+			return cthreads.Signal(empty)
+		})
+		runRuntime(t, sys, rt)
+		if len(consumed) != 10 {
+			t.Fatalf("useCont=%v: consumed %d", useCont, len(consumed))
+		}
+		if rt.Deadlocked {
+			t.Fatalf("useCont=%v: deadlocked", useCont)
+		}
+	}
+}
+
+func TestContinuationModeDiscardsUserStacks(t *testing.T) {
+	// 20 cthreads all blocked on a condition: with continuations only
+	// the stack of the running thread persists; with the stack model
+	// every blocked cthread keeps one.
+	stacksWhenBlocked := func(useCont bool) (int, int) {
+		sys := newSys(t)
+		rt := cthreads.New(useCont)
+		cv := rt.NewCond("gate")
+		for i := 0; i < 20; i++ {
+			rt.Spawn("waiter", func(c *cthreads.CThread) cthreads.Op {
+				if c.Step == 1 {
+					return cthreads.Wait(cv)
+				}
+				return cthreads.ExitOp()
+			})
+		}
+		// One controller wakes everyone at the end.
+		rt.Spawn("controller", func(c *cthreads.CThread) cthreads.Op {
+			switch c.Step {
+			case 1:
+				return cthreads.Compute(10_000)
+			case 2:
+				// Census point: all 20 waiters are blocked.
+				return cthreads.Broadcast(cv)
+			default:
+				return cthreads.ExitOp()
+			}
+		})
+		task := sys.NewTask("app")
+		sys.Start(task.NewThread("vcpu", rt, 10))
+		// Drive until the controller's compute burst (all waiters
+		// blocked), then census.
+		for i := 0; i < 100000 && cv.Waiters() < 20; i++ {
+			if !sys.K.Step() {
+				break
+			}
+		}
+		blockedCensus := rt.StacksInUse()
+		sys.Run(0)
+		return blockedCensus, rt.MaxStacks
+	}
+
+	contCensus, _ := stacksWhenBlocked(true)
+	stackCensus, stackMax := stacksWhenBlocked(false)
+	if contCensus > 2 {
+		t.Errorf("continuation model: %d user stacks for 20 blocked cthreads", contCensus)
+	}
+	if stackCensus < 20 {
+		t.Errorf("stack model: %d user stacks, want >= 20", stackCensus)
+	}
+	if stackMax < 21 {
+		t.Errorf("stack model max = %d", stackMax)
+	}
+}
+
+func TestContinuationSwitchesCheaper(t *testing.T) {
+	run := func(useCont bool) uint64 {
+		sys := newSys(t)
+		rt := cthreads.New(useCont)
+		for i := 0; i < 2; i++ {
+			rt.Spawn("pingpong", func(c *cthreads.CThread) cthreads.Op {
+				if c.Step > 50 {
+					return cthreads.ExitOp()
+				}
+				return cthreads.Yield()
+			})
+		}
+		runRuntime(t, sys, rt)
+		return rt.SwitchCycles
+	}
+	cont := run(true)
+	stack := run(false)
+	if cont >= stack {
+		t.Fatalf("continuation switches not cheaper: %d vs %d cycles", cont, stack)
+	}
+}
+
+func TestKernelOpFromCThread(t *testing.T) {
+	sys := newSys(t)
+	port := sys.IPC.NewPort("mbox")
+	rt := cthreads.New(true)
+	var got any
+	rt.Spawn("sender", func(c *cthreads.CThread) cthreads.Op {
+		switch c.Step {
+		case 1:
+			return cthreads.Kernel(core.Syscall("send", func(e *core.Env) {
+				m := sys.IPC.NewMessage(1, ipc.HeaderBytes, "hello", nil)
+				sys.IPC.MachMsg(e, ipc.MsgOptions{Send: m, SendTo: port})
+			}))
+		default:
+			return cthreads.ExitOp()
+		}
+	})
+	rt.Spawn("receiver", func(c *cthreads.CThread) cthreads.Op {
+		switch c.Step {
+		case 1:
+			return cthreads.Kernel(core.Syscall("recv", func(e *core.Env) {
+				sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: port})
+			}))
+		default:
+			return cthreads.ExitOp()
+		}
+	})
+	task := sys.NewTask("app")
+	vcpu := task.NewThread("vcpu", rt, 10)
+	sys.Start(vcpu)
+	sys.Run(0)
+	if m := sys.IPC.Received(vcpu); m != nil {
+		got = m.Body
+	}
+	if got != "hello" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	sys := newSys(t)
+	rt := cthreads.New(true)
+	cv := rt.NewCond("never")
+	rt.Spawn("stuck", func(c *cthreads.CThread) cthreads.Op {
+		return cthreads.Wait(cv)
+	})
+	runRuntime(t, sys, rt)
+	if !rt.Deadlocked {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if cthreads.Ready.String() != "ready" || cthreads.Done.String() != "done" {
+		t.Fatal("state strings")
+	}
+	if cthreads.State(9).String() != "State(9)" {
+		t.Fatal("unknown state string")
+	}
+}

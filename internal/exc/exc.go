@@ -1,0 +1,229 @@
+// Package exc is the exception-handling substrate (§2.5): every thread
+// has an exception port served by a user-level exception server; the
+// kernel turns a fault or trap into an RPC on that port and restarts the
+// thread when the server's reply arrives.
+//
+// Unlike a user-to-user RPC, the kernel itself is an endpoint of the
+// exchange, which the continuation kernel exploits twice:
+//
+//   - outbound, the faulting thread defers building the request message
+//     and, if a server thread is waiting with mach_msg_continue, hands its
+//     stack directly to the server, passing the fault information in the
+//     shared call context — no message copy, parse or queueing;
+//
+//   - inbound, the reply port is a kernel sink: the server's reply send
+//     runs a kernel completion in the server's context, which hands the
+//     stack straight back to the faulting thread and recognizes its
+//     "return from exception" continuation.
+//
+// The process-model kernels take the unoptimized path the paper measured
+// in MK32 and Mach 2.5: a full request message is built, queued and
+// re-parsed in each direction, with the general scheduler in between.
+package exc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// ExcInfo is the body of an exception request message: what the server
+// learns about the fault.
+type ExcInfo struct {
+	Thread *core.Thread
+	Code   int
+}
+
+// ExcMsgBytes is the size of a full exception request message (the
+// paper-era exception message carries thread, task and fault state).
+const ExcMsgBytes = 64
+
+// Path costs. The fast path defers message construction (deferCost); the
+// slow path builds, copies and parses a full message each way.
+var (
+	portLookupCost  = machine.Cost{Instrs: 60, Loads: 30, Stores: 10}    // find the thread's exception port
+	deferCost       = machine.Cost{Instrs: 20, Loads: 290, Stores: 10}   // gather fault state into the shared context
+	buildMsgCost    = machine.Cost{Instrs: 80, Loads: 640, Stores: 300}  // construct the full request message (incl. thread state)
+	replyCost       = machine.Cost{Instrs: 20, Loads: 115, Stores: 10}   // kernel-side reply processing
+	stateRestore    = machine.Cost{Instrs: 60, Loads: 540, Stores: 300}  // unpack thread state from a full reply message
+	restartCost     = machine.Cost{Instrs: 20, Loads: 180, Stores: 10}   // reload the faulting thread's state
+	mk32ExtraCost   = machine.Cost{Instrs: 40, Loads: 1040, Stores: 500} // MK32's revised-IPC exception packaging
+	mach25ExtraCost = machine.Cost{Instrs: 1240, Loads: 46, Stores: 0}   // hybrid kernel's older exception layer
+)
+
+// Exc is the exception subsystem.
+type Exc struct {
+	K *core.Kernel
+	X *ipc.IPC
+
+	// ContExcReturn is the continuation a faulting thread blocks with
+	// while its exception server works; calling it restarts the thread in
+	// user space. The inbound fast path recognizes it.
+	ContExcReturn *core.Continuation
+
+	// excPorts maps thread ID to the thread's exception port.
+	excPorts map[int]*ipc.Port
+
+	// replyPorts maps thread ID to the thread's kernel reply port.
+	replyPorts map[int]*ipc.Port
+
+	// Counters.
+	FastRaises  uint64 // outbound handoffs to a waiting server
+	SlowRaises  uint64 // outbound through the message path
+	FastReplies uint64 // inbound handoffs back to the faulter
+	SlowReplies uint64
+}
+
+// New creates the exception subsystem and installs its handler on the
+// kernel.
+func New(k *core.Kernel, x *ipc.IPC) *Exc {
+	ex := &Exc{
+		K:          k,
+		X:          x,
+		excPorts:   make(map[int]*ipc.Port),
+		replyPorts: make(map[int]*ipc.Port),
+	}
+	ex.ContExcReturn = core.NewContinuation("exception_return", func(e *core.Env) {
+		e.Charge(restartCost)
+		k.ThreadExceptionReturn(e)
+	})
+	k.HandleException = ex.Handle
+	return ex
+}
+
+// SetExceptionPort registers the port on which a thread's exceptions are
+// serviced (thread_set_exception_port).
+func (ex *Exc) SetExceptionPort(t *core.Thread, p *ipc.Port) {
+	ex.excPorts[t.ID] = p
+}
+
+// replyPortFor lazily creates the kernel-endpoint reply port for a
+// faulting thread.
+func (ex *Exc) replyPortFor(t *core.Thread) *ipc.Port {
+	p := ex.replyPorts[t.ID]
+	if p == nil {
+		p = ex.X.NewPort(fmt.Sprintf("exc-reply-%d", t.ID))
+		p.KernelSink = func(e *core.Env, msg *ipc.Message, opts *ipc.MsgOptions) {
+			ex.replySink(e, t, msg, opts)
+		}
+		ex.replyPorts[t.ID] = p
+	}
+	return p
+}
+
+// Handle services a user-level exception on the current thread. Installed
+// as the kernel's exception handler; terminal.
+func (ex *Exc) Handle(e *core.Env, code int) {
+	k := ex.K
+	t := e.Cur()
+	e.Charge(portLookupCost)
+	port := ex.excPorts[t.ID]
+	if port == nil {
+		panic(fmt.Sprintf("exc: %v raised exception %d with no exception port", t, code))
+	}
+	info := ExcInfo{Thread: t, Code: code}
+	reply := ex.replyPortFor(t)
+
+	if k.UseContinuations {
+		// Before entering the normal send path, look for a server thread
+		// already waiting with mach_msg_continue (§2.5).
+		var server *core.Thread
+		if k.CanHandoff() {
+			server = ex.X.PopWaiter(e, port)
+		}
+		if server != nil && server.Cont != nil {
+			// Defer the request message: the fault information travels
+			// in the shared stack context.
+			e.Charge(deferCost)
+			ex.FastRaises++
+			msg := ex.X.NewMessage(ipc.ExcOpRaise, ipc.HeaderBytes, info, reply)
+			ex.X.DeliverTo(e, server, msg)
+			t.State = core.StateWaiting
+			t.WaitLabel = "exception reply"
+			k.ThreadHandoff(e, stats.BlockException, ex.ContExcReturn, server)
+			// Running as the server, in the faulter's call context.
+			if k.Recognize(e, ex.X.ContMsgContinue) {
+				m := ex.X.TakeDelivered(e.Cur())
+				if m == nil {
+					panic("exc: fast raise lost its message")
+				}
+				ex.X.CompleteReceive(e, m)
+			}
+			k.CallContinuation(e, e.Cur().Cont)
+		}
+		// No waiting server: fall back to a real message.
+		ex.SlowRaises++
+		e.Charge(buildMsgCost)
+		msg := ex.X.NewMessage(ipc.ExcOpRaise, ExcMsgBytes, info, reply)
+		ex.X.Enqueue(e, port, msg)
+		t.State = core.StateWaiting
+		t.WaitLabel = "exception reply"
+		k.Block(e, stats.BlockException, ex.ContExcReturn, nil, 0, "")
+	}
+
+	// Process-model kernels: the unoptimized path in both directions.
+	ex.SlowRaises++
+	e.Charge(buildMsgCost)
+	if ex.X.Style == ipc.StyleMK32 {
+		e.Charge(mk32ExtraCost)
+	} else {
+		e.Charge(mach25ExtraCost)
+	}
+	msg := ex.X.NewMessage(ipc.ExcOpRaise, ExcMsgBytes, info, reply)
+	server := ex.X.PopWaiter(e, port)
+	ex.X.Enqueue(e, port, msg)
+	if server != nil {
+		ex.K.Setrun(server)
+	}
+	t.State = core.StateWaiting
+	t.WaitLabel = "exception reply"
+	k.Block(e, stats.BlockException, nil, func(e2 *core.Env) {
+		e2.Charge(restartCost)
+		k.ThreadExceptionReturn(e2)
+	}, 256, "exception-wait")
+}
+
+// replySink processes the server's reply send in the server's kernel
+// context: the kernel is the receiver, so no copyout or queueing happens;
+// the faulting thread is restarted. Terminal.
+func (ex *Exc) replySink(e *core.Env, faulter *core.Thread, msg *ipc.Message, opts *ipc.MsgOptions) {
+	k := ex.K
+	e.Charge(replyCost)
+	server := e.Cur()
+
+	// The handoff-back shortcut requires that the server's next receive
+	// would genuinely block: if messages are already queued on its port
+	// the server must drain them instead (or it would sleep on a
+	// non-empty queue and strand the messages).
+	if k.CanHandoff() && opts.ReceiveFrom != nil &&
+		opts.ReceiveFrom.QueueLen() == 0 && ex.X.TakeDeliveredPeek(server) == nil &&
+		faulter.BlockedWith(ex.ContExcReturn) {
+		// Fast inbound path: block the server on its next receive and
+		// hand the stack straight back to the faulting thread.
+		ex.FastReplies++
+		cont := ex.X.RegisterReceiver(server, opts.ReceiveFrom, opts.MaxSize)
+		server.State = core.StateWaiting
+		k.ThreadHandoff(e, stats.BlockReceive, cont, faulter)
+		// Running as the faulter, in the server's call context.
+		if k.Recognize(e, ex.ContExcReturn) {
+			e.Charge(restartCost)
+			k.ThreadExceptionReturn(e)
+		}
+		k.CallContinuation(e, e.Cur().Cont)
+	}
+
+	// Slow inbound: unpack the reply message, wake the faulter through
+	// the scheduler and let the server continue with its own receive.
+	ex.SlowReplies++
+	e.Charge(stateRestore)
+	if faulter.State == core.StateWaiting {
+		k.Setrun(faulter)
+	}
+	if opts.ReceiveFrom != nil {
+		ex.X.Receive(e, opts.ReceiveFrom, opts.MaxSize)
+	}
+	k.ThreadSyscallReturn(e, ipc.MsgSuccess)
+}

@@ -1,0 +1,876 @@
+// Package ipc is the interprocess-communication substrate: Mach-style
+// ports, messages, and the combined send/receive system call mach_msg,
+// including the continuation-based fast RPC path of §2.4 (Figure 2).
+//
+// Three transfer styles reproduce the three measured kernels:
+//
+//   - StyleMK40: when the sender finds a receiver blocked with a
+//     continuation, it delivers the message, performs a stack handoff,
+//     and — still inside its own live call context — recognizes the
+//     receiver's continuation. If it is mach_msg_continue the transfer
+//     completes inline: no queueing, no scheduler, no repeated parsing,
+//     one stack shared between caller and callee.
+//
+//   - StyleMK32: the process-model kernel with the hand-optimized RPC
+//     path: the sender delivers directly to a waiting receiver and
+//     context-switches straight to it, bypassing the scheduler and the
+//     message queue, but paying a full register save/restore.
+//
+//   - StyleMach25: the unoptimized hybrid kernel: messages are always
+//     queued, the receiver is merely made runnable, and the general
+//     scheduler decides who runs next; the receiver re-parses the message
+//     after dequeueing it.
+package ipc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Style selects the transfer discipline (see the package comment).
+type Style int
+
+const (
+	StyleMK40 Style = iota
+	StyleMK32
+	StyleMach25
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleMK40:
+		return "MK40"
+	case StyleMK32:
+		return "MK32"
+	case StyleMach25:
+		return "Mach2.5"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Return codes, after Mach's.
+const (
+	// MsgSuccess is MACH_MSG_SUCCESS.
+	MsgSuccess uint64 = 0
+	// RcvTooLarge is MACH_RCV_TOO_LARGE: the message exceeded the
+	// receiver's size constraint.
+	RcvTooLarge uint64 = 0x10004004
+	// RcvTimedOut is MACH_RCV_TIMED_OUT: the receive's timeout expired.
+	RcvTimedOut uint64 = 0x10004003
+	// RcvPortDied is MACH_RCV_PORT_DIED: the port was destroyed while
+	// the thread was blocked receiving on it.
+	RcvPortDied uint64 = 0x10004007
+	// SendInvalidDest is MACH_SEND_INVALID_DEST: the destination port is
+	// dead.
+	SendInvalidDest uint64 = 0x10000003
+)
+
+// DefaultQueueLimit is the default bound on a port's message queue, as
+// in Mach's port backlog default.
+const DefaultQueueLimit = 5
+
+// HeaderBytes is the fixed message header size (24 bytes in Mach 3.0).
+const HeaderBytes = 24
+
+// ExcOpRaise is the operation id of an exception request message
+// (exception_raise in the Mach exception interface).
+const ExcOpRaise uint32 = 2401
+
+// Message is a Mach message: a header plus an untyped body. The simulator
+// carries an arbitrary Go payload for programs while charging copy costs
+// by the declared size.
+type Message struct {
+	ID     int
+	OpID   uint32 // operation id, chosen by the sender
+	Size   int    // total bytes including the header
+	Body   any    // payload visible to the receiving program
+	Reply  *Port  // where the receiver should send the reply
+	Sender *core.Thread
+
+	// OOL transfers the body out-of-line: instead of copying Size bytes
+	// through the kernel, the pages are remapped copy-on-write into the
+	// receiver (Mach's large-message path). Cheaper for large bodies,
+	// dearer for small ones.
+	OOL bool
+}
+
+// Port is a Mach port: a protected message queue with at most one
+// receiver task (rights are simplified away; the control-transfer paths
+// are what the paper measures).
+type Port struct {
+	ID   int
+	Name string
+
+	queue   []*Message
+	waiters []*rcvWaiter
+
+	// sendWaiters are senders blocked on a full queue.
+	sendWaiters []*rcvWaiter
+
+	// QueueLimit bounds the message queue; senders block when it is
+	// full. Zero means DefaultQueueLimit.
+	QueueLimit int
+
+	// dead marks a destroyed port: sends fail with SendInvalidDest and
+	// receives with RcvPortDied.
+	dead bool
+
+	// set is the port set this port belongs to, if any.
+	set *PortSet
+
+	// KernelSink marks a port whose receiver is the kernel itself (the
+	// reply port of an exception RPC). A send to such a port invokes the
+	// sink in the sender's context instead of queueing; the sink must be
+	// terminal.
+	KernelSink func(e *core.Env, msg *Message, opts *MsgOptions)
+
+	// Enqueued and Dequeued count queue traffic through this port,
+	// letting tests verify the fast path bypasses the queue.
+	Enqueued uint64
+	Dequeued uint64
+}
+
+// QueueLen reports how many messages are waiting on the port.
+func (p *Port) QueueLen() int { return len(p.queue) }
+
+// Dead reports whether the port has been destroyed.
+func (p *Port) Dead() bool { return p.dead }
+
+// Waiters reports how many threads are blocked receiving on the port.
+func (p *Port) Waiters() int {
+	n := 0
+	for _, w := range p.waiters {
+		if !w.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// SendWaiters reports how many senders are blocked on the full queue.
+func (p *Port) SendWaiters() int {
+	n := 0
+	for _, w := range p.sendWaiters {
+		if !w.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// limit returns the effective queue bound.
+func (p *Port) limit() int {
+	if p.QueueLimit > 0 {
+		return p.QueueLimit
+	}
+	return DefaultQueueLimit
+}
+
+// rcvWaiter is one thread's registration on a port's waiter (or
+// send-waiter) list. Cancellation covers consumption by a sender,
+// expiry of a receive timeout, and port destruction.
+type rcvWaiter struct {
+	t         *core.Thread
+	cancelled bool
+	timeout   *machine.Event
+}
+
+// MsgOptions describes one mach_msg invocation: an optional send phase
+// followed by an optional receive phase (both present on the RPC paths).
+type MsgOptions struct {
+	// Send is the message to transmit; nil for a receive-only call.
+	Send *Message
+	// SendTo is the destination port of the send phase.
+	SendTo *Port
+	// ReceiveFrom is the port of the receive phase; nil for send-only.
+	ReceiveFrom *Port
+	// ReceiveFromSet receives from any member of a port set instead of a
+	// single port; mutually exclusive with ReceiveFrom.
+	ReceiveFromSet *PortSet
+	// MaxSize, when nonzero, is an unusual receive-size constraint: the
+	// receiver must verify every message against it, so it blocks with
+	// the slow receive continuation and recognition fails (§2.4).
+	MaxSize int
+
+	// RcvTimeout, when nonzero, bounds how long the receive phase may
+	// block; an expired receive returns RcvTimedOut.
+	RcvTimeout machine.Duration
+}
+
+// receiveSource resolves the receive phase's source, or nil.
+func (o *MsgOptions) receiveSource() source {
+	if o.ReceiveFromSet != nil {
+		if o.ReceiveFrom != nil {
+			panic("ipc: mach_msg with both ReceiveFrom and ReceiveFromSet")
+		}
+		return o.ReceiveFromSet
+	}
+	if o.ReceiveFrom != nil {
+		return o.ReceiveFrom
+	}
+	return nil
+}
+
+// Path work costs (machine-independent kernel code; the trap and transfer
+// component costs come from machine.TransferCosts). The values are
+// calibrated so that Table 3 reproduces; see EXPERIMENTS.md.
+var (
+	validateCost    = machine.Cost{Instrs: 55, Loads: 14, Stores: 6}  // header and option checks
+	portLookupCost  = machine.Cost{Instrs: 55, Loads: 19, Stores: 5}  // name -> port translation, space lock
+	rightsCost      = machine.Cost{Instrs: 75, Loads: 20, Stores: 13} // capability and reply-right handling
+	findRecvCost    = machine.Cost{Instrs: 28, Loads: 9, Stores: 3}   // probe the waiter list
+	deliverCost     = machine.Cost{Instrs: 30, Loads: 8, Stores: 8}   // hand message to a waiting receiver
+	msgAllocCost    = machine.Cost{Instrs: 75, Loads: 16, Stores: 18} // kernel buffer for a queued message
+	enqueueCost     = machine.Cost{Instrs: 60, Loads: 15, Stores: 13}
+	dequeueCost     = machine.Cost{Instrs: 70, Loads: 21, Stores: 10}
+	reparseCost     = machine.Cost{Instrs: 70, Loads: 22, Stores: 6}   // receiver-side re-examination
+	wakeupCost      = machine.Cost{Instrs: 40, Loads: 10, Stores: 8}   // make a thread runnable
+	selectCost      = machine.Cost{Instrs: 150, Loads: 40, Stores: 18} // general scheduler selection (Mach 2.5)
+	optionCheckCost = machine.Cost{Instrs: 45, Loads: 14, Stores: 4}   // slow-receive constraint processing
+
+	// Out-of-line transfer: a fixed map setup plus a per-page remap,
+	// instead of a per-byte copy.
+	oolSetupCost   = machine.Cost{Instrs: 900, Loads: 250, Stores: 180}
+	oolPerPageCost = machine.Cost{Instrs: 60, Loads: 14, Stores: 18}
+)
+
+// transferCost prices moving a message body across the user/kernel
+// boundary: byte copy inline, page remap out-of-line.
+func transferCost(m *Message) machine.Cost {
+	if !m.OOL {
+		return machine.CopyBytes(m.Size)
+	}
+	pages := uint64((m.Size + 4095) / 4096)
+	return oolSetupCost.Plus(oolPerPageCost.Scale(pages))
+}
+
+// IPC is the interprocess-communication subsystem of one kernel.
+type IPC struct {
+	K     *core.Kernel
+	Style Style
+
+	// ContMsgContinue is mach_msg_continue: the continuation nearly all
+	// receivers block with, and the value the fast path recognizes.
+	ContMsgContinue *core.Continuation
+
+	// ContMsgRcvSlow is the continuation used when a receive carries
+	// unusual options (a MaxSize constraint): it does extra work on every
+	// receive, so recognition fails and the general continuation call is
+	// taken (§2.4).
+	ContMsgRcvSlow *core.Continuation
+
+	// ContMsgSendRetry resumes a sender that blocked on a full message
+	// queue.
+	ContMsgSendRetry *core.Continuation
+
+	// rcvError holds a pending receive error (timeout, port death) for a
+	// woken receiver, keyed by thread ID.
+	rcvError map[int]uint64
+
+	// delivered holds a message handed directly to a blocked receiver,
+	// keyed by thread ID, until the receiver's resumption consumes it.
+	// It models the message travelling on the shared stack (fast path)
+	// or in the receiver's pre-posted buffer (MK32 path).
+	delivered map[int]*Message
+
+	// received exposes the outcome of the last receive to the receiving
+	// thread's user program (the copied-out user buffer).
+	received map[int]*Message
+
+	nextPortID int
+	nextMsgID  int
+
+	// UserReturnHook, when non-nil, is consulted as a receive completes,
+	// before control transfers back to user space. Returning true means
+	// the hook performed the user-level transfer itself (it must be
+	// terminal). This is the §4 extension point: a registered overriding
+	// user-level continuation for system call returns (the LRPC-style
+	// transfer protocol).
+	UserReturnHook func(e *core.Env, t *core.Thread, m *Message) bool
+
+	// Counters.
+	FastRPCs       uint64 // handoff + recognition completions
+	SlowReceives   uint64 // completions through a called continuation
+	QueuedSends    uint64
+	DirectSwitches uint64 // MK32-style directed transfers
+}
+
+// New creates the IPC subsystem for a kernel with the given style.
+// StyleMK40 requires a continuation kernel; the process-model styles
+// require a process-model kernel.
+func New(k *core.Kernel, style Style) *IPC {
+	if (style == StyleMK40) != k.UseContinuations {
+		panic(fmt.Sprintf("ipc: style %v mismatches kernel continuations=%v", style, k.UseContinuations))
+	}
+	x := &IPC{
+		K:         k,
+		Style:     style,
+		delivered: make(map[int]*Message),
+		received:  make(map[int]*Message),
+		rcvError:  make(map[int]uint64),
+	}
+	x.ContMsgContinue = core.NewContinuation("mach_msg_continue", x.msgContinue)
+	x.ContMsgRcvSlow = core.NewContinuation("mach_msg_receive_slow", x.msgReceiveSlow)
+	x.ContMsgSendRetry = core.NewContinuation("mach_msg_send_retry", x.msgSendRetry)
+	return x
+}
+
+// NewPort allocates a port.
+func (x *IPC) NewPort(name string) *Port {
+	x.nextPortID++
+	return &Port{ID: x.nextPortID, Name: name}
+}
+
+// NewMessage builds a message of the given total size.
+func (x *IPC) NewMessage(op uint32, size int, body any, reply *Port) *Message {
+	if size < HeaderBytes {
+		size = HeaderBytes
+	}
+	x.nextMsgID++
+	return &Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply}
+}
+
+// Received returns (and clears) the message the thread's last successful
+// receive copied out — how the simulated user program reads its buffer.
+func (x *IPC) Received(t *core.Thread) *Message {
+	m := x.received[t.ID]
+	delete(x.received, t.ID)
+	return m
+}
+
+// takeDelivered consumes a directly-delivered message.
+func (x *IPC) takeDelivered(t *core.Thread) *Message {
+	m := x.delivered[t.ID]
+	if m != nil {
+		delete(x.delivered, t.ID)
+	}
+	return m
+}
+
+// DeliverTo hands a message directly to a receiver (which the caller has
+// removed from a waiter list), charging the delivery cost. The receiver's
+// resumption will consume it.
+func (x *IPC) DeliverTo(e *core.Env, recv *core.Thread, m *Message) {
+	e.Charge(deliverCost)
+	x.delivered[recv.ID] = m
+}
+
+// Enqueue places a message on a port's queue, charging allocation and
+// queueing: the slow-path delivery used when no receiver waits (and
+// always used by the Mach 2.5 style).
+func (x *IPC) Enqueue(e *core.Env, p *Port, m *Message) {
+	x.enqueue(e, p, m)
+}
+
+// PopWaiter removes and returns the first thread blocked receiving on the
+// port, or nil. The caller becomes responsible for delivering to it.
+func (x *IPC) PopWaiter(e *core.Env, p *Port) *core.Thread {
+	e.Charge(findRecvCost)
+	return x.popWaiter(p)
+}
+
+// RegisterReceiver records that t is about to block receiving on p: its
+// receive parameters go to the scratch area and it joins the waiter list.
+// The caller sets the wait state and blocks. cont reports the
+// continuation the thread should block with (the slow variant when a
+// size constraint is present).
+func (x *IPC) RegisterReceiver(t *core.Thread, p *Port, maxSize int) (cont *core.Continuation) {
+	x.saveReceiveState(t, p, maxSize)
+	p.push(t)
+	t.WaitLabel = "mach_msg receive"
+	if maxSize > 0 {
+		return x.ContMsgRcvSlow
+	}
+	return x.ContMsgContinue
+}
+
+// Receive runs the receive phase of mach_msg in the current thread's
+// context: consume a delivered or queued message, or block. Terminal.
+func (x *IPC) Receive(e *core.Env, p *Port, maxSize int) {
+	x.receive(e, p, maxSize, 0)
+}
+
+// ReceiveSet is Receive over a port set. Terminal.
+func (x *IPC) ReceiveSet(e *core.Env, ps *PortSet, maxSize int) {
+	x.receive(e, ps, maxSize, 0)
+}
+
+// CompleteReceive finishes the current thread's receive with m: copyout
+// and system-call return. Used by recognizing fast paths. Terminal.
+func (x *IPC) CompleteReceive(e *core.Env, m *Message) {
+	x.copyOutAndReturn(e, m)
+}
+
+// TakeDelivered consumes a message that was directly delivered to t, if
+// any.
+func (x *IPC) TakeDelivered(t *core.Thread) *Message {
+	return x.takeDelivered(t)
+}
+
+// TakeDeliveredPeek reports a pending direct delivery without consuming
+// it, used by fast paths to decide whether a receive would block.
+func (x *IPC) TakeDeliveredPeek(t *core.Thread) *Message {
+	return x.delivered[t.ID]
+}
+
+// popWaiter consumes the first live waiter registration on the port,
+// cancelling its timeout.
+func (x *IPC) popWaiter(p *Port) *core.Thread {
+	return x.popWaiterList(&p.waiters)
+}
+
+// popWaiterList consumes the first live registration on any waiter list.
+func (x *IPC) popWaiterList(list *[]*rcvWaiter) *core.Thread {
+	for len(*list) > 0 {
+		w := (*list)[0]
+		*list = (*list)[1:]
+		if w.cancelled || w.t.State != core.StateWaiting {
+			continue
+		}
+		w.cancelled = true
+		if w.timeout != nil {
+			x.K.Clock.Cancel(w.timeout)
+		}
+		return w.t
+	}
+	return nil
+}
+
+// push registers t as a receive waiter on p (the source interface).
+func (p *Port) push(t *core.Thread) *rcvWaiter {
+	w := &rcvWaiter{t: t}
+	p.waiters = append(p.waiters, w)
+	return w
+}
+
+// MachMsg is the mach_msg system call: an optional send phase followed by
+// an optional receive phase. It must be invoked from a syscall handler
+// and is terminal.
+func (x *IPC) MachMsg(e *core.Env, opts MsgOptions) {
+	e.Charge(validateCost)
+	src := opts.receiveSource()
+	if opts.Send != nil {
+		x.send(e, opts, src)
+	}
+	if src == nil {
+		panic("ipc: mach_msg with neither send nor receive")
+	}
+	x.receive(e, src, opts.MaxSize, opts.RcvTimeout)
+}
+
+// send runs the send phase. It returns normally only when the transfer
+// continued into the receive phase of the same call; otherwise it is
+// terminal.
+func (x *IPC) send(e *core.Env, opts MsgOptions, src source) {
+	k := x.K
+	t := e.Cur()
+	msg := opts.Send
+	dest := opts.SendTo
+	if dest == nil {
+		panic("ipc: send without a destination port")
+	}
+	msg.Sender = t
+	e.Charge(transferCost(msg)) // copyin or out-of-line map
+	e.Trace(stats.TraceCopyIn, fmt.Sprintf("%d bytes", msg.Size))
+	e.Charge(portLookupCost)
+	e.Charge(rightsCost)
+	if dest.dead {
+		// The destination was destroyed: the send fails immediately and
+		// the receive phase is not attempted.
+		k.ThreadSyscallReturn(e, SendInvalidDest)
+	}
+
+	if dest.KernelSink != nil {
+		dest.KernelSink(e, msg, &opts)
+		panic("ipc: kernel sink returned instead of transferring control")
+	}
+
+	e.Charge(findRecvCost)
+	e.Trace(stats.TraceFindReceiver, dest.Name)
+	recv := x.popWaiter(dest)
+	if recv == nil {
+		// A thread blocked on the port's set can take the message too.
+		recv = x.findSetReceiver(dest)
+	}
+
+	switch x.Style {
+	case StyleMK40:
+		if recv != nil && recv.Cont != nil && k.CanHandoff() {
+			x.sendHandoff(e, opts, src, recv)
+			return // unreachable; sendHandoff is terminal
+		}
+		if recv != nil {
+			// Receiver blocked under the process model (rare in MK40):
+			// deliver and wake it through the general path.
+			e.Charge(deliverCost)
+			x.delivered[recv.ID] = msg
+			e.Charge(wakeupCost)
+			k.Setrun(recv)
+			x.finishSendPhase(e, opts)
+			return
+		}
+	case StyleMK32:
+		if recv != nil {
+			// Deliver into the receiver's buffer and context-switch
+			// directly to it, bypassing the scheduler and the queue.
+			e.Charge(deliverCost)
+			x.delivered[recv.ID] = msg
+			x.DirectSwitches++
+			if src != nil && !src.hasPending() && x.delivered[t.ID] == nil {
+				maxSize := opts.MaxSize
+				t.State = core.StateWaiting
+				t.WaitLabel = "mach_msg receive"
+				w := src.push(t)
+				x.armTimeout(w, opts.RcvTimeout)
+				k.BlockDirected(e, stats.BlockReceive,
+					func(e2 *core.Env) { x.resumeReceive(e2, src, maxSize) },
+					192, "mach_msg", recv)
+			}
+			if src != nil {
+				// The sender's receive completes immediately; wake the
+				// receiver through the run queue instead.
+				e.Charge(wakeupCost)
+				k.Setrun(recv)
+				x.receive(e, src, opts.MaxSize, opts.RcvTimeout)
+			}
+			e.Charge(wakeupCost)
+			k.Setrun(recv)
+			k.ThreadSyscallReturn(e, MsgSuccess)
+		}
+	case StyleMach25:
+		// Always queue; the receiver (if any) is merely made runnable
+		// and the general scheduler arbitrates.
+		if len(dest.queue) >= dest.limit() {
+			x.blockFullQueue(e, dest, opts)
+		}
+		x.enqueue(e, dest, msg)
+		if recv != nil {
+			e.Charge(wakeupCost)
+			e.Charge(selectCost)
+			k.Setrun(recv)
+		}
+		x.finishSendPhase(e, opts)
+		return
+	}
+
+	// No receiver waiting: queue the message and continue (blocking
+	// first if the queue is at its limit).
+	if len(dest.queue) >= dest.limit() {
+		x.blockFullQueue(e, dest, opts)
+	}
+	x.enqueue(e, dest, msg)
+	x.finishSendPhase(e, opts)
+}
+
+// blockFullQueue parks the sender until the destination queue drains (or
+// the port dies). The whole mach_msg retries from the top when the
+// sender resumes. Terminal.
+func (x *IPC) blockFullQueue(e *core.Env, dest *Port, opts MsgOptions) {
+	t := e.Cur()
+	// Stash the entire call in the scratch area: destination, message,
+	// receive port and size bound (four of the seven words).
+	t.Scratch.PutRef(0, dest)
+	t.Scratch.PutRef(1, opts.Send)
+	if opts.ReceiveFromSet != nil {
+		t.Scratch.PutRef(2, opts.ReceiveFromSet)
+	} else {
+		t.Scratch.PutRef(2, opts.ReceiveFrom)
+	}
+	t.Scratch.PutWord(3, uint32(opts.MaxSize))
+	w := &rcvWaiter{t: t}
+	dest.sendWaiters = append(dest.sendWaiters, w)
+	t.State = core.StateWaiting
+	t.WaitLabel = "mach_msg send (queue full)"
+	x.K.Block(e, stats.BlockReceive, x.ContMsgSendRetry,
+		func(e2 *core.Env) { x.msgSendRetry(e2) }, 224, "send-queue-full")
+}
+
+// msgSendRetry resumes a sender that blocked on a full queue: rebuild the
+// call from scratch state and retry mach_msg from the top. Terminal.
+func (x *IPC) msgSendRetry(e *core.Env) {
+	t := e.Cur()
+	if code, ok := x.rcvError[t.ID]; ok {
+		delete(x.rcvError, t.ID)
+		x.K.ThreadSyscallReturn(e, code)
+	}
+	dest := t.Scratch.Ref(0).(*Port)
+	msg := t.Scratch.Ref(1).(*Message)
+	opts := MsgOptions{
+		Send:    msg,
+		SendTo:  dest,
+		MaxSize: int(t.Scratch.Word(3)),
+	}
+	switch r := t.Scratch.Ref(2).(type) {
+	case *Port:
+		opts.ReceiveFrom = r
+	case *PortSet:
+		opts.ReceiveFromSet = r
+	}
+	x.MachMsg(e, opts)
+}
+
+// wakeSender releases one blocked sender now that the queue has room.
+func (x *IPC) wakeSender(p *Port) {
+	for len(p.sendWaiters) > 0 {
+		w := p.sendWaiters[0]
+		p.sendWaiters = p.sendWaiters[1:]
+		if w.cancelled || w.t.State != core.StateWaiting {
+			continue
+		}
+		w.cancelled = true
+		x.K.Setrun(w.t)
+		return
+	}
+}
+
+// armTimeout schedules a receive timeout for a registered waiter.
+func (x *IPC) armTimeout(w *rcvWaiter, d machine.Duration) {
+	if d == 0 {
+		return
+	}
+	w.timeout = x.K.Clock.After(d, "mach_msg-rcv-timeout", func() {
+		if w.cancelled || w.t.State != core.StateWaiting {
+			return
+		}
+		w.cancelled = true
+		x.rcvError[w.t.ID] = RcvTimedOut
+		x.K.Setrun(w.t)
+	})
+}
+
+// DestroyPort destroys a port: queued messages are discarded, blocked
+// receivers wake with RcvPortDied, blocked senders with SendInvalidDest,
+// and future sends fail. Idempotent.
+func (x *IPC) DestroyPort(e *core.Env, p *Port) {
+	if p.dead {
+		return
+	}
+	e.Charge(machine.Cost{Instrs: 90, Loads: 25, Stores: 20})
+	p.dead = true
+	p.queue = nil
+	for _, w := range p.waiters {
+		if w.cancelled || w.t.State != core.StateWaiting {
+			continue
+		}
+		w.cancelled = true
+		if w.timeout != nil {
+			x.K.Clock.Cancel(w.timeout)
+		}
+		x.rcvError[w.t.ID] = RcvPortDied
+		x.K.Setrun(w.t)
+	}
+	p.waiters = nil
+	for _, w := range p.sendWaiters {
+		if w.cancelled || w.t.State != core.StateWaiting {
+			continue
+		}
+		w.cancelled = true
+		x.rcvError[w.t.ID] = SendInvalidDest
+		x.K.Setrun(w.t)
+	}
+	p.sendWaiters = nil
+}
+
+// enqueue places a message on a port's queue.
+func (x *IPC) enqueue(e *core.Env, p *Port, msg *Message) {
+	e.Charge(msgAllocCost)
+	e.Charge(enqueueCost)
+	p.queue = append(p.queue, msg)
+	p.Enqueued++
+	x.QueuedSends++
+	e.Trace(stats.TraceQueueMessage, p.Name)
+}
+
+// finishSendPhase either falls into the receive phase (returning to the
+// caller) or completes a send-only call. Terminal unless a receive phase
+// follows.
+func (x *IPC) finishSendPhase(e *core.Env, opts MsgOptions) {
+	if opts.receiveSource() != nil {
+		return
+	}
+	x.K.ThreadSyscallReturn(e, MsgSuccess)
+}
+
+// sendHandoff is the §2.4 fast path: the receiver is blocked with a
+// continuation, so the sender hands its stack (and, implicitly, the
+// message in its live call context) directly to the receiver. Terminal.
+func (x *IPC) sendHandoff(e *core.Env, opts MsgOptions, src source, recv *core.Thread) {
+	k := x.K
+	t := e.Cur()
+	msg := opts.Send
+	e.Charge(deliverCost)
+	x.delivered[recv.ID] = msg
+
+	if src == nil {
+		// Send-only to a waiting receiver: wake it and return; no
+		// handoff is needed because the sender keeps running.
+		e.Charge(wakeupCost)
+		k.Setrun(recv)
+		k.ThreadSyscallReturn(e, MsgSuccess)
+	}
+
+	// The handoff requires that the sender's receive phase would
+	// genuinely block; if a message already awaits the sender, wake the
+	// receiver through the queue-less general path and take the receive
+	// immediately.
+	if src.hasPending() || x.delivered[t.ID] != nil {
+		e.Charge(wakeupCost)
+		k.Setrun(recv)
+		x.receive(e, src, opts.MaxSize, opts.RcvTimeout)
+	}
+
+	// Combined send/receive: the sender blocks waiting for its own
+	// message. Stash the receive parameters in the 28-byte scratch area
+	// and hand the stack to the receiver.
+	x.saveReceiveState(t, src, opts.MaxSize)
+	w := src.push(t)
+	x.armTimeout(w, opts.RcvTimeout)
+	t.State = core.StateWaiting
+	t.WaitLabel = "mach_msg receive"
+	cont := x.ContMsgContinue
+	if opts.MaxSize > 0 {
+		cont = x.ContMsgRcvSlow
+	}
+	k.ThreadHandoff(e, stats.BlockReceive, cont, recv)
+
+	// Running as the receiver now, inside the sender's still-live
+	// mach_msg activation. Examine the continuation before using it.
+	if k.Recognize(e, x.ContMsgContinue) {
+		// The receiver blocked on the common path: complete its receive
+		// inline. The message was passed on the shared stack; only the
+		// sender checked it for exceptional conditions.
+		x.FastRPCs++
+		m := x.takeDelivered(e.Cur())
+		if m == nil {
+			panic("ipc: fast path lost its message")
+		}
+		x.copyOutAndReturn(e, m)
+	}
+	// Unusual receiver: give it its own continuation, which redoes the
+	// option processing.
+	k.CallContinuation(e, e.Cur().Cont)
+}
+
+// saveReceiveState records a blocked receiver's parameters in its scratch
+// area: the receive source (port or port set) and the size constraint.
+func (x *IPC) saveReceiveState(t *core.Thread, src source, maxSize int) {
+	t.Scratch.PutRef(0, src)
+	t.Scratch.PutWord(1, uint32(maxSize))
+}
+
+// receive runs the receive phase in the receiving thread's own context,
+// from a port or a port set. Terminal.
+func (x *IPC) receive(e *core.Env, src source, maxSize int, timeout machine.Duration) {
+	t := e.Cur()
+	// A pending receive error (timeout, port death) ends the call.
+	if code, ok := x.rcvError[t.ID]; ok {
+		delete(x.rcvError, t.ID)
+		x.K.ThreadSyscallReturn(e, code)
+	}
+	// A message may already have been handed to us.
+	if m := x.takeDelivered(t); m != nil {
+		x.finishReceiveChecked(e, m, maxSize)
+	}
+	if src.isDead() {
+		x.K.ThreadSyscallReturn(e, RcvPortDied)
+	}
+	if m := src.pull(x, e); m != nil {
+		x.finishReceiveChecked(e, m, maxSize)
+	}
+
+	// Nothing available: block. Nearly all receivers block on the common
+	// path with mach_msg_continue; a size-constrained receive blocks with
+	// the slow continuation.
+	x.saveReceiveState(t, src, maxSize)
+	w := src.push(t)
+	x.armTimeout(w, timeout)
+	t.State = core.StateWaiting
+	t.WaitLabel = "mach_msg receive"
+	cont := x.ContMsgContinue
+	if maxSize > 0 {
+		cont = x.ContMsgRcvSlow
+	}
+	x.K.Block(e, stats.BlockReceive, cont,
+		func(e2 *core.Env) { x.resumeReceive(e2, src, maxSize) },
+		192, "mach_msg")
+}
+
+// resumeReceive is the process-model resumption of a blocked receive.
+// Re-parsing costs are charged where a message is actually dequeued.
+func (x *IPC) resumeReceive(e *core.Env, src source, maxSize int) {
+	x.receive(e, src, maxSize, 0)
+}
+
+// msgContinue is mach_msg_continue: the general continuation of a
+// receiver blocked on the common path. It runs when the transfer was not
+// completed inline by a recognizing sender. Terminal.
+func (x *IPC) msgContinue(e *core.Env) {
+	t := e.Cur()
+	src, maxSize := x.savedReceiveState(t)
+	if code, ok := x.rcvError[t.ID]; ok {
+		delete(x.rcvError, t.ID)
+		x.K.ThreadSyscallReturn(e, code)
+	}
+	if m := x.takeDelivered(t); m != nil {
+		x.SlowReceives++
+		x.copyOutAndReturn(e, m)
+	}
+	// Woken to drain the queue.
+	x.receive(e, src, maxSize, 0)
+}
+
+// msgReceiveSlow is the continuation of a receiver with unusual options:
+// it re-checks the size constraint on every message, which is why the
+// fast path cannot recognize it away. Terminal.
+func (x *IPC) msgReceiveSlow(e *core.Env) {
+	t := e.Cur()
+	src, maxSize := x.savedReceiveState(t)
+	e.Charge(optionCheckCost)
+	if code, ok := x.rcvError[t.ID]; ok {
+		delete(x.rcvError, t.ID)
+		x.K.ThreadSyscallReturn(e, code)
+	}
+	if m := x.takeDelivered(t); m != nil {
+		x.SlowReceives++
+		x.finishReceiveChecked(e, m, maxSize)
+	}
+	x.receive(e, src, maxSize, 0)
+}
+
+// savedReceiveState recovers the parameters stashed by saveReceiveState.
+func (x *IPC) savedReceiveState(t *core.Thread) (source, int) {
+	src, ok := t.Scratch.Ref(0).(source)
+	if !ok {
+		panic(fmt.Sprintf("ipc: %v resumed a receive without saved state", t))
+	}
+	return src, int(t.Scratch.Word(1))
+}
+
+// finishReceiveChecked applies the receiver's size constraint, then
+// copies out. Terminal.
+func (x *IPC) finishReceiveChecked(e *core.Env, m *Message, maxSize int) {
+	if maxSize > 0 {
+		e.Charge(optionCheckCost)
+		if m.Size > maxSize {
+			x.K.ThreadSyscallReturn(e, RcvTooLarge)
+		}
+	}
+	x.copyOutAndReturn(e, m)
+}
+
+// copyOutAndReturn copies the message to user space and completes the
+// system call. Terminal.
+func (x *IPC) copyOutAndReturn(e *core.Env, m *Message) {
+	t := e.Cur()
+	e.Charge(transferCost(m))
+	e.Trace(stats.TraceCopyOut, fmt.Sprintf("%d bytes", m.Size))
+	x.received[t.ID] = m
+	if x.UserReturnHook != nil && x.UserReturnHook(e, t, m) {
+		panic("ipc: user return hook returned instead of transferring control")
+	}
+	x.K.ThreadSyscallReturn(e, MsgSuccess)
+}

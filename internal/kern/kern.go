@@ -1,0 +1,338 @@
+// Package kern assembles the simulated operating system: it wires the
+// control-transfer core to the scheduler, IPC, VM and exception
+// substrates, and configures one of the paper's three measured kernels:
+//
+//   - MK40  — the continuation kernel (§2): stack discard, stack handoff,
+//     continuation recognition; kernel stacks are wired (no VM metadata)
+//     and machine-dependent thread state lives in a separate save area.
+//
+//   - MK32  — the optimized process-model kernel: one dedicated, pageable
+//     kernel stack per thread, a hand-optimized RPC path that context
+//     switches directly between sender and receiver, no continuations.
+//
+//   - Mach25 — the hybrid kernel: process model, queued messages, the
+//     general scheduler on every transfer, and the in-kernel BSD layer's
+//     extra path weight.
+//
+// The package also provides tasks (address spaces plus port namespaces)
+// and the internal kernel threads of §3.4, including the one thread whose
+// control flow makes a continuation impractical: it keeps a dedicated
+// stack even in MK40 and is the "+1 per-machine stack" in the paper's
+// census.
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exc"
+	"repro/internal/ipc"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Flavor identifies one of the three measured kernels.
+type Flavor int
+
+const (
+	MK40 Flavor = iota
+	MK32
+	Mach25
+)
+
+func (f Flavor) String() string {
+	switch f {
+	case MK40:
+		return "MK40"
+	case MK32:
+		return "MK32"
+	case Mach25:
+		return "Mach 2.5"
+	default:
+		return fmt.Sprintf("Flavor(%d)", int(f))
+	}
+}
+
+// UsesContinuations reports whether the flavor is the continuation
+// kernel.
+func (f Flavor) UsesContinuations() bool { return f == MK40 }
+
+// IPCStyle maps the flavor to its transfer discipline.
+func (f Flavor) IPCStyle() ipc.Style {
+	switch f {
+	case MK40:
+		return ipc.StyleMK40
+	case MK32:
+		return ipc.StyleMK32
+	default:
+		return ipc.StyleMach25
+	}
+}
+
+// StackVMMetadataBytes is the per-stack VM bookkeeping charge: process-
+// model kernels page their stacks (116 bytes of VM structures per stack,
+// Table 5); MK40 wires its few stacks and pays nothing.
+func (f Flavor) StackVMMetadataBytes() int {
+	if f == MK40 {
+		return 0
+	}
+	return 116
+}
+
+// ThreadSpace is the Table 5 decomposition of per-thread kernel memory.
+type ThreadSpace struct {
+	MIState    int // machine-independent thread structure
+	MDState    int // separate machine-dependent save area
+	StackBytes int // dedicated kernel stack
+	VMState    int // VM structures backing a pageable stack
+}
+
+// Total is the per-thread kernel memory in bytes.
+func (s ThreadSpace) Total() int {
+	return s.MIState + s.MDState + s.StackBytes + s.VMState
+}
+
+// StaticThreadSpace returns the flavor's nominal per-thread overhead on
+// the DS3100 (the paper's Table 5). In MK40 the thread structure grew by
+// 32 bytes (4-byte continuation pointer + 28-byte scratch area) and the
+// machine-dependent state moved off the (now absent) stack into a 206
+// byte save area.
+func (f Flavor) StaticThreadSpace() ThreadSpace {
+	if f == MK40 {
+		return ThreadSpace{
+			MIState:    484, // 452 + 4 (continuation) + 28 (scratch)
+			MDState:    machine.MDStateBytes,
+			StackBytes: 0,
+			VMState:    0,
+		}
+	}
+	return ThreadSpace{
+		MIState:    452,
+		MDState:    0, // lives on the dedicated stack
+		StackBytes: machine.KernelStackSize,
+		VMState:    116,
+	}
+}
+
+// CalloutInterval is how often the special process-model kernel thread
+// wakes for its bookkeeping tick.
+const CalloutInterval = machine.Duration(60 * 1000 * 1000 * 1000) // 60 s
+
+// Config describes the system to boot.
+type Config struct {
+	Flavor     Flavor
+	Arch       machine.Arch
+	Processors int
+	// Quantum overrides the scheduler time slice when nonzero.
+	Quantum machine.Duration
+	// Frames and DiskLatency size the VM subsystem.
+	Frames      int
+	DiskLatency machine.Duration
+	// DisableCallout omits the special process-model kernel thread, for
+	// experiments that need an exact stack census.
+	DisableCallout bool
+
+	// NoHandoff and NoRecognition disable individual continuation
+	// optimizations, for ablation benchmarks.
+	NoHandoff     bool
+	NoRecognition bool
+}
+
+// System is a booted kernel with all substrates attached.
+type System struct {
+	Flavor Flavor
+	K      *core.Kernel
+	Sched  *sched.RunQueue
+	IPC    *ipc.IPC
+	VM     *vm.VM
+	Exc    *exc.Exc
+
+	// Callout is the special kernel thread that never blocks with a
+	// continuation (nil when disabled).
+	Callout *core.Thread
+
+	tasks     []*Task
+	nextSpace int
+
+	// CalloutTicks counts bookkeeping passes of the callout thread.
+	CalloutTicks uint64
+	// AllocWaits and LockWaits count the process-model waits the
+	// workloads induce (Table 1's bottom row, with kernel faults).
+	AllocWaits uint64
+	LockWaits  uint64
+}
+
+// Task is an address space plus a name for its threads.
+type Task struct {
+	ID    int
+	Name  string
+	Space *vm.Space
+	sys   *System
+
+	Threads []*core.Thread
+}
+
+// New boots a system.
+func New(cfg Config) *System {
+	k := core.NewKernel(core.Config{
+		Model:                machine.NewCostModel(cfg.Arch),
+		UseContinuations:     cfg.Flavor.UsesContinuations(),
+		Processors:           cfg.Processors,
+		StackVMMetadataBytes: cfg.Flavor.StackVMMetadataBytes(),
+		NoHandoff:            cfg.NoHandoff,
+		NoRecognition:        cfg.NoRecognition,
+	})
+	rq := sched.New(cfg.Quantum)
+	k.Sched = rq
+	s := &System{
+		Flavor: cfg.Flavor,
+		K:      k,
+		Sched:  rq,
+	}
+	s.VM = vm.New(k, vm.Config{Frames: cfg.Frames, DiskLatency: cfg.DiskLatency})
+	s.IPC = ipc.New(k, cfg.Flavor.IPCStyle())
+	s.Exc = exc.New(k, s.IPC)
+	if !cfg.DisableCallout {
+		s.startCallout()
+	}
+	return s
+}
+
+// startCallout creates the kernel thread whose flow of control makes a
+// continuation impractical: it always blocks under the process model and
+// therefore holds one dedicated stack for the life of the machine —
+// "a constant per-machine, and not per-processor, overhead" (§3.4).
+func (s *System) startCallout() {
+	s.Callout = s.K.NewThread(core.ThreadSpec{
+		Name:     "callout",
+		SpaceID:  0,
+		Internal: true,
+		Priority: 31,
+		StartPM:  s.calloutLoop,
+	})
+	s.K.Setrun(s.Callout)
+}
+
+// calloutLoop runs timed bookkeeping, then sleeps under the process
+// model. Terminal.
+func (s *System) calloutLoop(e *core.Env) {
+	s.CalloutTicks++
+	e.Charge(machine.Cost{Instrs: 200, Loads: 60, Stores: 30})
+	t := e.Cur()
+	s.K.Clock.AfterBackground(CalloutInterval, "callout-tick", func() {
+		if t.State == core.StateWaiting {
+			s.K.Setrun(t)
+		}
+	})
+	t.State = core.StateWaiting
+	t.WaitLabel = "callout: tick wait"
+	// A nil continuation forces the process model even in MK40.
+	s.K.Block(e, stats.BlockInternal, nil, s.calloutLoop, 512, "callout-wait")
+}
+
+// NewTask creates a task with a fresh address space.
+func (s *System) NewTask(name string) *Task {
+	s.nextSpace++
+	t := &Task{
+		ID:    s.nextSpace,
+		Name:  name,
+		Space: s.VM.NewSpace(s.nextSpace),
+		sys:   s,
+	}
+	s.tasks = append(s.tasks, t)
+	return t
+}
+
+// Tasks returns all created tasks.
+func (s *System) Tasks() []*Task { return s.tasks }
+
+// NewThread creates a thread in the task. The thread starts blocked; call
+// System.Start to make it runnable.
+func (t *Task) NewThread(name string, prog core.UserProgram, priority int) *core.Thread {
+	th := t.sys.K.NewThread(core.ThreadSpec{
+		Name:     fmt.Sprintf("%s/%s", t.Name, name),
+		SpaceID:  t.ID,
+		Program:  prog,
+		Priority: priority,
+	})
+	t.Threads = append(t.Threads, th)
+	return th
+}
+
+// Start makes a thread runnable.
+func (s *System) Start(t *core.Thread) { s.K.Setrun(t) }
+
+// Run drives the machine to quiescence or the deadline.
+func (s *System) Run(deadline machine.Time) uint64 { return s.K.Run(deadline) }
+
+// AllocWait makes the current kernel path wait for kernel memory: a
+// process-model block even in MK40, since the allocator's callers cannot
+// reasonably save their state (§3.2: "memory allocation"). resume
+// continues the interrupted path. Terminal.
+func (s *System) AllocWait(e *core.Env, frameBytes int, resume func(*core.Env)) {
+	s.AllocWaits++
+	t := e.Cur()
+	s.K.Clock.After(machine.Duration(500*1000), "kmem-free", func() {
+		if t.State == core.StateWaiting {
+			s.K.Setrun(t)
+		}
+	})
+	t.State = core.StateWaiting
+	t.WaitLabel = "kmem alloc"
+	s.K.Block(e, stats.BlockKernelAlloc, nil, resume, frameBytes, "kmem-wait")
+}
+
+// LockWait makes the current kernel path wait for a contended kernel
+// lock under the process model (§3.2: "lock acquisition"). Terminal.
+func (s *System) LockWait(e *core.Env, frameBytes int, resume func(*core.Env)) {
+	s.LockWaits++
+	t := e.Cur()
+	s.K.Clock.After(machine.Duration(50*1000), "lock-release", func() {
+		if t.State == core.StateWaiting {
+			s.K.Setrun(t)
+		}
+	})
+	t.State = core.StateWaiting
+	t.WaitLabel = "lock wait"
+	s.K.Block(e, stats.BlockLock, nil, resume, frameBytes, "lock-wait")
+}
+
+// LiveUserThreads counts non-halted threads that belong to tasks (i.e.
+// kernel-level threads backing user activity, the population Table 5
+// divides memory over).
+func (s *System) LiveUserThreads() int {
+	n := 0
+	for _, task := range s.tasks {
+		for _, th := range task.Threads {
+			if th.State != core.StateHalted {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MeasuredPerThreadBytes computes the observed average kernel memory per
+// live kernel-level thread right now: fixed thread state for every
+// thread, plus stack and VM metadata for each stack actually in use.
+// In MK40 the stack term is amortized over all threads (stacks are a
+// per-processor resource); in the process-model kernels every thread owns
+// one.
+func (s *System) MeasuredPerThreadBytes() float64 {
+	threads := 0
+	for _, th := range s.K.Threads {
+		if th.State != core.StateHalted {
+			threads++
+		}
+	}
+	if threads == 0 {
+		return 0
+	}
+	sp := s.Flavor.StaticThreadSpace()
+	fixed := float64(sp.MIState + sp.MDState)
+	stackBytes := float64(s.K.Stacks.InUse()) *
+		float64(machine.KernelStackSize+s.K.Stacks.VMMetadataBytes)
+	return fixed + stackBytes/float64(threads)
+}

@@ -1,0 +1,129 @@
+package lrpc_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/lrpc"
+	"repro/internal/machine"
+)
+
+func newSys(t *testing.T) (*kern.System, *lrpc.LRPC) {
+	t.Helper()
+	sys := kern.New(kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true})
+	return sys, lrpc.New(sys)
+}
+
+// client drives n RPCs to the server port.
+type client struct {
+	sys    *kern.System
+	server *ipc.Port
+	reply  *ipc.Port
+	n      int
+	done   int
+	bodies []any
+}
+
+func (c *client) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := c.sys.IPC.Received(t); m != nil {
+		c.bodies = append(c.bodies, m.Body)
+	}
+	if c.done >= c.n {
+		return core.Exit()
+	}
+	c.done++
+	return core.Syscall("rpc", func(e *core.Env) {
+		req := c.sys.IPC.NewMessage(1, ipc.HeaderBytes, c.done, c.reply)
+		c.sys.IPC.MachMsg(e, ipc.MsgOptions{Send: req, SendTo: c.server, ReceiveFrom: c.reply})
+	})
+}
+
+func runLRPCPair(t *testing.T, register bool, rpcs int) (*kern.System, *lrpc.LRPC, *lrpc.Server, *client) {
+	t.Helper()
+	sys, l := newSys(t)
+	st := sys.NewTask("server")
+	ct := sys.NewTask("client")
+	sp := sys.IPC.NewPort("service")
+	rp := sys.IPC.NewPort("reply")
+	srv := l.NewServer(sp, func(req *ipc.Message) *ipc.Message {
+		return sys.IPC.NewMessage(req.OpID|0x8000, req.Size, req.Body, nil)
+	})
+	sth := st.NewThread("srv", srv, 20)
+	if register {
+		srv.Bind(sth)
+	}
+	cli := &client{sys: sys, server: sp, reply: rp, n: rpcs}
+	sys.Start(sth)
+	sys.Start(ct.NewThread("cli", cli, 10))
+	sys.Run(0)
+	return sys, l, srv, cli
+}
+
+func TestOverriddenReturnsServeRPCs(t *testing.T) {
+	_, l, srv, cli := runLRPCPair(t, true, 10)
+	if srv.Handled != 10 {
+		t.Fatalf("handled = %d", srv.Handled)
+	}
+	for i, b := range cli.bodies {
+		if b.(int) != i+1 {
+			t.Fatalf("bodies = %v", cli.bodies)
+		}
+	}
+	// Every server receive returned through the registered entry.
+	if l.OverriddenReturns < 10 {
+		t.Fatalf("OverriddenReturns = %d", l.OverriddenReturns)
+	}
+	if l.DiscardedUserStacks != 1 {
+		t.Fatalf("DiscardedUserStacks = %d", l.DiscardedUserStacks)
+	}
+}
+
+func TestUnregisteredServerStillWorks(t *testing.T) {
+	_, l, srv, _ := runLRPCPair(t, false, 5)
+	if srv.Handled != 5 {
+		t.Fatalf("handled = %d", srv.Handled)
+	}
+	if l.OverriddenReturns != 0 {
+		t.Fatalf("OverriddenReturns = %d without registration", l.OverriddenReturns)
+	}
+}
+
+func TestOverrideIsCheaper(t *testing.T) {
+	timePerRPC := func(register bool) float64 {
+		sys, _, _, _ := runLRPCPair(t, register, 200)
+		return sys.K.Clock.Now().Micros() / 200
+	}
+	with := timePerRPC(true)
+	without := timePerRPC(false)
+	if with >= without {
+		t.Fatalf("override not cheaper: %.2f vs %.2f us", with, without)
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	sys, l := newSys(t)
+	task := sys.NewTask("t")
+	th := task.NewThread("x", nil, 10)
+	if l.Registered(th) {
+		t.Fatal("registered before Register")
+	}
+	l.Register(th, func(*ipc.Message) {})
+	l.Register(th, func(*ipc.Message) {}) // idempotent stack accounting
+	if !l.Registered(th) || l.DiscardedUserStacks != 1 {
+		t.Fatalf("registered=%v stacks=%d", l.Registered(th), l.DiscardedUserStacks)
+	}
+	l.Unregister(th)
+	l.Unregister(th)
+	if l.Registered(th) || l.DiscardedUserStacks != 0 {
+		t.Fatalf("after unregister: %v %d", l.Registered(th), l.DiscardedUserStacks)
+	}
+}
+
+func TestSavedPerReturnPositive(t *testing.T) {
+	_, l := newSys(t)
+	if l.SavedPerReturn() <= 0 {
+		t.Fatal("SavedPerReturn should be positive")
+	}
+}

@@ -1,0 +1,186 @@
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in nanoseconds since boot. The simulator
+// never reads the host clock; identical inputs produce identical
+// timelines.
+type Time uint64
+
+// Micros returns the timestamp in microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1000 }
+
+// Seconds returns the timestamp in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Event is a deferred action in simulated time: a timer expiry, a disk
+// completion, a device interrupt.
+type Event struct {
+	When Time
+	// Fire runs when the clock reaches When. It executes in dispatcher
+	// context (not on any thread's stack).
+	Fire func()
+	// Label describes the event for traces.
+	Label string
+	// Background marks housekeeping events (periodic kernel ticks) that
+	// should not, by themselves, keep an otherwise quiescent simulation
+	// alive.
+	Background bool
+
+	seq   uint64 // tiebreaker for determinism
+	index int    // heap bookkeeping; -1 once fired or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the simulated global time source plus the pending-event queue.
+type Clock struct {
+	now        Time
+	events     eventHeap
+	seq        uint64
+	foreground int // pending non-background events
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves time forward by d nanoseconds. Time is monotone;
+// advancing never fires events — callers pop due events explicitly so
+// that event handlers always run from dispatcher context.
+func (c *Clock) Advance(d Duration) {
+	c.now += d
+}
+
+// AdvanceMicros moves time forward by a (possibly fractional) number of
+// microseconds, rounding to the nearest nanosecond.
+func (c *Clock) AdvanceMicros(us float64) {
+	if us < 0 {
+		panic("machine: negative time advance")
+	}
+	c.Advance(Duration(us*1000 + 0.5))
+}
+
+// Schedule registers fn to fire at absolute time when. Scheduling in the
+// past is allowed; the event becomes due immediately.
+func (c *Clock) Schedule(when Time, label string, fn func()) *Event {
+	e := &Event{When: when, Fire: fn, Label: label, seq: c.seq}
+	c.seq++
+	heap.Push(&c.events, e)
+	c.foreground++
+	return e
+}
+
+// After registers fn to fire d nanoseconds from now.
+func (c *Clock) After(d Duration, label string, fn func()) *Event {
+	return c.Schedule(c.now+d, label, fn)
+}
+
+// AfterBackground registers a housekeeping event that does not keep an
+// idle simulation alive (see HasForeground).
+func (c *Clock) AfterBackground(d Duration, label string, fn func()) *Event {
+	e := c.Schedule(c.now+d, label, fn)
+	e.Background = true
+	c.foreground--
+	return e
+}
+
+// HasForeground reports whether any pending event is a real one (not
+// housekeeping); the run loop quiesces when none remain.
+func (c *Clock) HasForeground() bool { return c.foreground > 0 }
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op returning false.
+func (c *Clock) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&c.events, e.index)
+	e.index = -2
+	if !e.Background {
+		c.foreground--
+	}
+	return true
+}
+
+// NextEventTime returns the time of the earliest pending event and
+// whether one exists.
+func (c *Clock) NextEventTime() (Time, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].When, true
+}
+
+// PopDue removes and returns the earliest event whose time has arrived,
+// or nil if none is due. The caller fires it.
+func (c *Clock) PopDue() *Event {
+	if len(c.events) == 0 || c.events[0].When > c.now {
+		return nil
+	}
+	e := heap.Pop(&c.events).(*Event)
+	if !e.Background {
+		c.foreground--
+	}
+	return e
+}
+
+// AdvanceToNextEvent jumps time forward to the earliest pending event and
+// returns it, or returns nil if the queue is empty. Used by the idle
+// thread when nothing is runnable.
+func (c *Clock) AdvanceToNextEvent() *Event {
+	if len(c.events) == 0 {
+		return nil
+	}
+	e := heap.Pop(&c.events).(*Event)
+	if !e.Background {
+		c.foreground--
+	}
+	if e.When > c.now {
+		c.now = e.When
+	}
+	return e
+}
+
+// Pending reports how many events are queued.
+func (c *Clock) Pending() int { return len(c.events) }

@@ -1,0 +1,205 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v", c.Now())
+	}
+}
+
+func TestClockAdvanceMonotone(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.Advance(0)
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Fatalf("Now = %v, want 150", c.Now())
+	}
+}
+
+func TestClockAdvanceMicrosRounds(t *testing.T) {
+	c := NewClock()
+	c.AdvanceMicros(1.5) // 1500 ns
+	if c.Now() != 1500 {
+		t.Fatalf("Now = %v, want 1500ns", c.Now())
+	}
+	c.AdvanceMicros(0.0004) // 0.4 ns rounds to 0
+	if c.Now() != 1500 {
+		t.Fatalf("Now = %v after sub-ns advance", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	NewClock().AdvanceMicros(-1)
+}
+
+func TestEventOrdering(t *testing.T) {
+	c := NewClock()
+	var fired []string
+	c.Schedule(300, "c", func() { fired = append(fired, "c") })
+	c.Schedule(100, "a", func() { fired = append(fired, "a") })
+	c.Schedule(200, "b", func() { fired = append(fired, "b") })
+
+	c.Advance(250)
+	for e := c.PopDue(); e != nil; e = c.PopDue() {
+		e.Fire()
+	}
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v", fired)
+	}
+	c.Advance(100)
+	if e := c.PopDue(); e == nil || e.Label != "c" {
+		t.Fatalf("expected c due, got %+v", e)
+	}
+}
+
+func TestEventSameTimeFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(50, "e", func() { order = append(order, i) })
+	}
+	c.Advance(50)
+	for e := c.PopDue(); e != nil; e = c.PopDue() {
+		e.Fire()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	e := c.Schedule(10, "x", func() { fired = true })
+	if !c.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if c.Cancel(e) {
+		t.Fatal("double cancel returned true")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	c.Advance(20)
+	if ev := c.PopDue(); ev != nil {
+		t.Fatalf("cancelled event still due: %v", ev.Label)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if c.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	c := NewClock()
+	var es []*Event
+	for i := 0; i < 20; i++ {
+		when := Time((i * 37) % 100)
+		es = append(es, c.Schedule(when, "e", func() {}))
+	}
+	// Cancel every third event, then verify the rest drain in time order.
+	for i := 0; i < len(es); i += 3 {
+		c.Cancel(es[i])
+	}
+	c.Advance(1000)
+	var last Time
+	count := 0
+	for e := c.PopDue(); e != nil; e = c.PopDue() {
+		if e.When < last {
+			t.Fatalf("heap order violated: %v after %v", e.When, last)
+		}
+		last = e.When
+		count++
+	}
+	want := len(es) - (len(es)+2)/3
+	if count != want {
+		t.Fatalf("drained %d events, want %d", count, want)
+	}
+}
+
+func TestAdvanceToNextEvent(t *testing.T) {
+	c := NewClock()
+	c.Schedule(500, "wake", func() {})
+	e := c.AdvanceToNextEvent()
+	if e == nil || e.Label != "wake" {
+		t.Fatalf("AdvanceToNextEvent = %+v", e)
+	}
+	if c.Now() != 500 {
+		t.Fatalf("clock at %v, want 500", c.Now())
+	}
+	if c.AdvanceToNextEvent() != nil {
+		t.Fatal("empty queue should return nil")
+	}
+}
+
+func TestAdvanceToNextEventNeverGoesBack(t *testing.T) {
+	c := NewClock()
+	c.Schedule(10, "past", func() {})
+	c.Advance(100)
+	c.AdvanceToNextEvent()
+	if c.Now() != 100 {
+		t.Fatalf("clock went backwards to %v", c.Now())
+	}
+}
+
+func TestPopDueNotEarly(t *testing.T) {
+	c := NewClock()
+	c.Schedule(10, "later", func() {})
+	if e := c.PopDue(); e != nil {
+		t.Fatalf("event due early: %v", e.Label)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+}
+
+// Property: draining the event queue always yields events in
+// nondecreasing time order, whatever the insertion order.
+func TestEventHeapProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		c := NewClock()
+		for _, ti := range times {
+			c.Schedule(Time(ti), "e", func() {})
+		}
+		c.now = ^Time(0) >> 1
+		var last Time
+		for e := c.PopDue(); e != nil; e = c.PopDue() {
+			if e.When < last {
+				return false
+			}
+			last = e.When
+		}
+		return c.Pending() == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := Time(2_500_000) // 2.5 ms
+	if tm.Micros() != 2500 {
+		t.Fatalf("Micros = %v", tm.Micros())
+	}
+	if tm.Seconds() != 0.0025 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+}

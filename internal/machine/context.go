@@ -1,0 +1,96 @@
+package machine
+
+// Context is the machine-dependent register save area for a thread: the
+// state the trap handler preserves at kernel entry and the state
+// switch_context saves and restores. The simulator gives registers
+// symbolic roles rather than modelling a full ISA; what matters to the
+// paper is where this state lives (a separate save area in MK40, the
+// kernel stack in MK32/Toshiba) and what saving it costs.
+type Context struct {
+	// PC is the user program counter to resume at.
+	PC uint64
+	// SP is the user stack pointer.
+	SP uint64
+	// RetVal carries a system call's return code back to user space.
+	RetVal uint64
+	// Args carries system call arguments (a0-a3 style).
+	Args [4]uint64
+	// Valid records whether the context holds live user state.
+	Valid bool
+}
+
+// SaveArgs records syscall arguments into the context.
+func (c *Context) SaveArgs(args ...uint64) {
+	for i := range c.Args {
+		c.Args[i] = 0
+	}
+	n := len(args)
+	if n > len(c.Args) {
+		n = len(c.Args)
+	}
+	copy(c.Args[:], args[:n])
+}
+
+// MDStateBytes is the size of the separate machine-dependent thread save
+// area in an MK40-style kernel on the DS3100 (Table 5: 206 bytes — the
+// full user register frame plus trap bookkeeping). In MK32 this state
+// lives on the thread's dedicated kernel stack and costs no extra bytes.
+const MDStateBytes = 206
+
+// Accumulator gathers Costs charged by simulated kernel code, both a
+// running total and a resettable span, so paths can be measured
+// component-by-component (Table 4) and end-to-end (Table 3).
+type Accumulator struct {
+	model *CostModel
+	clock *Clock
+
+	total Cost
+	span  Cost
+
+	// AdvanceClock, when true, moves the simulated clock forward as costs
+	// are charged so that event timing reflects kernel execution time.
+	AdvanceClock bool
+}
+
+// NewAccumulator returns an accumulator charging against model and,
+// optionally, advancing clock.
+func NewAccumulator(model *CostModel, clock *Clock) *Accumulator {
+	return &Accumulator{model: model, clock: clock, AdvanceClock: true}
+}
+
+// Model exposes the cost model used for time conversion.
+func (a *Accumulator) Model() *CostModel { return a.model }
+
+// Charge records that the named work was performed.
+func (a *Accumulator) Charge(c Cost) {
+	a.total.Add(c)
+	a.span.Add(c)
+	if a.AdvanceClock && a.clock != nil {
+		a.clock.AdvanceMicros(a.model.TimeMicros(c))
+	}
+}
+
+// ChargeInstrs charges n straight-line instructions with no data traffic.
+func (a *Accumulator) ChargeInstrs(n uint64) {
+	a.Charge(Cost{Instrs: n})
+}
+
+// Total returns the cumulative cost since creation.
+func (a *Accumulator) Total() Cost { return a.total }
+
+// BeginSpan resets the span counter and returns the value before reset,
+// letting callers bracket a path measurement.
+func (a *Accumulator) BeginSpan() Cost {
+	prev := a.span
+	a.span = Cost{}
+	return prev
+}
+
+// Span returns the cost charged since the last BeginSpan.
+func (a *Accumulator) Span() Cost { return a.span }
+
+// SpanMicros returns the simulated duration of the current span.
+func (a *Accumulator) SpanMicros() float64 { return a.model.TimeMicros(a.span) }
+
+// TotalMicros returns the simulated duration of all charged work.
+func (a *Accumulator) TotalMicros() float64 { return a.model.TimeMicros(a.total) }

@@ -1,0 +1,71 @@
+package machine
+
+import "testing"
+
+func TestContextSaveArgs(t *testing.T) {
+	var c Context
+	c.SaveArgs(1, 2, 3, 4, 5, 6) // extras dropped, like real trap frames
+	if c.Args != [4]uint64{1, 2, 3, 4} {
+		t.Fatalf("Args = %v", c.Args)
+	}
+	c.SaveArgs(9)
+	if c.Args != [4]uint64{9, 0, 0, 0} {
+		t.Fatalf("Args after re-save = %v", c.Args)
+	}
+}
+
+func TestAccumulatorTotalsAndSpans(t *testing.T) {
+	clock := NewClock()
+	m := NewCostModel(ArchDS3100)
+	a := NewAccumulator(m, clock)
+
+	a.Charge(Cost{Instrs: 100, Loads: 10, Stores: 5})
+	a.BeginSpan()
+	a.Charge(Cost{Instrs: 50})
+	a.ChargeInstrs(25)
+
+	if got := a.Span(); got != (Cost{Instrs: 75}) {
+		t.Fatalf("Span = %v", got)
+	}
+	if got := a.Total(); got != (Cost{Instrs: 175, Loads: 10, Stores: 5}) {
+		t.Fatalf("Total = %v", got)
+	}
+	if a.SpanMicros() <= 0 || a.TotalMicros() <= a.SpanMicros() {
+		t.Fatalf("micros: span=%v total=%v", a.SpanMicros(), a.TotalMicros())
+	}
+}
+
+func TestAccumulatorAdvancesClock(t *testing.T) {
+	clock := NewClock()
+	m := NewCostModel(ArchDS3100)
+	a := NewAccumulator(m, clock)
+	a.Charge(Cost{Instrs: 1667}) // 100 us on the DS3100
+	if got := clock.Now().Micros(); got < 99.9 || got > 100.1 {
+		t.Fatalf("clock advanced %v us, want 100", got)
+	}
+
+	a.AdvanceClock = false
+	before := clock.Now()
+	a.Charge(Cost{Instrs: 1000})
+	if clock.Now() != before {
+		t.Fatal("charge advanced the clock with AdvanceClock off")
+	}
+}
+
+func TestBeginSpanReturnsPrevious(t *testing.T) {
+	a := NewAccumulator(NewCostModel(ArchDS3100), NewClock())
+	a.Charge(Cost{Instrs: 7})
+	prev := a.BeginSpan()
+	if prev != (Cost{Instrs: 7}) {
+		t.Fatalf("BeginSpan returned %v", prev)
+	}
+	if !a.Span().IsZero() {
+		t.Fatal("span not reset")
+	}
+}
+
+func TestMDStateBytesMatchesTable5(t *testing.T) {
+	if MDStateBytes != 206 {
+		t.Fatalf("MDStateBytes = %d, want 206 (Table 5)", MDStateBytes)
+	}
+}

@@ -1,0 +1,103 @@
+package machine
+
+// TransferCosts holds the machine-dependent component costs of the
+// control-transfer primitives for one (architecture, kernel style) pair.
+// The DS3100 values come directly from the paper's Table 4; costs the
+// paper does not itemize (exception entry/exit, attach/detach, the
+// call_continuation trampoline) are derived from the register-file sizes
+// in the CostModel.
+type TransferCosts struct {
+	// SyscallEntry and SyscallExit are the trap-in and trap-out costs for
+	// a system call. A continuation-style kernel must eagerly save and
+	// restore all callee-saved registers in a machine-dependent save area
+	// (since a discarded stack can never restore them), which is why MK40
+	// entry/exit is slightly dearer than MK32 (Table 4 discussion).
+	SyscallEntry Cost
+	SyscallExit  Cost
+
+	// ExceptionEntry and ExceptionExit bracket exceptions, faults and
+	// interrupts, which must preserve the full user register frame in
+	// both kernel styles.
+	ExceptionEntry Cost
+	ExceptionExit  Cost
+
+	// StackHandoff moves the current kernel stack from the current thread
+	// to a new thread without saving or restoring the register file.
+	StackHandoff Cost
+
+	// ContextSwitch performs a full register save and restore plus stack
+	// switch; it is the process-model transfer primitive.
+	ContextSwitch Cost
+
+	// StackAttach initializes a free stack so that resuming the thread
+	// runs thread_continue; StackDetach unlinks a stack from a thread.
+	StackAttach Cost
+	StackDetach Cost
+
+	// CallContinuation resets the stack pointer to the stack base and
+	// jumps to the continuation.
+	CallContinuation Cost
+
+	// AddressSpaceSwitch is the extra cost (TLB/segment work) when a
+	// handoff or context switch crosses address spaces.
+	AddressSpaceSwitch Cost
+
+	// HandoffRegCopy is nonzero only under the Toshiba 5200 quirk: the
+	// register block saved on the old kernel stack must be copied to the
+	// new stack on every handoff.
+	HandoffRegCopy Cost
+}
+
+// TransferCostsFor builds the component cost table for a machine model.
+// continuations selects the MK40-style table (eager callee-saved register
+// handling) versus the MK32/Mach 2.5 process-model table.
+func TransferCostsFor(m *CostModel, continuations bool) TransferCosts {
+	var t TransferCosts
+	switch m.Arch {
+	case ArchDS3100:
+		if continuations {
+			// Table 4, MK40 column.
+			t.SyscallEntry = Cost{Instrs: 64, Loads: 7, Stores: 25}
+			t.SyscallExit = Cost{Instrs: 35, Loads: 21, Stores: 1}
+		} else {
+			// Table 4, MK32 column.
+			t.SyscallEntry = Cost{Instrs: 67, Loads: 8, Stores: 20}
+			t.SyscallExit = Cost{Instrs: 24, Loads: 11, Stores: 1}
+		}
+		t.StackHandoff = Cost{Instrs: 83, Loads: 22, Stores: 18}
+		t.ContextSwitch = Cost{Instrs: 250, Loads: 52, Stores: 27}
+	case ArchToshiba5200:
+		// The paper does not itemize 386 component costs; these follow
+		// the DS3100 structure scaled to the 386's smaller register file,
+		// with the RegsOnStack quirk charged separately per handoff.
+		if continuations {
+			t.SyscallEntry = Cost{Instrs: 58, Loads: 7, Stores: 16}
+			t.SyscallExit = Cost{Instrs: 30, Loads: 12, Stores: 1}
+		} else {
+			t.SyscallEntry = Cost{Instrs: 60, Loads: 8, Stores: 13}
+			t.SyscallExit = Cost{Instrs: 22, Loads: 8, Stores: 1}
+		}
+		t.StackHandoff = Cost{Instrs: 120, Loads: 30, Stores: 20}
+		t.ContextSwitch = Cost{Instrs: 190, Loads: 40, Stores: 22}
+		if continuations && m.RegsOnStack {
+			// Copy the saved user register frame (plus trap-frame
+			// bookkeeping) off the old stack and onto the new one.
+			t.HandoffRegCopy = CopyWords(m.UserRegs + 8)
+		}
+	}
+
+	// Exceptions and interrupts preserve the full user register frame in
+	// every kernel style; model that as the syscall cost plus stores
+	// (entry) / loads (exit) for the registers a syscall would not save.
+	extraRegs := uint64(m.UserRegs - m.CalleeSavedRegs)
+	t.ExceptionEntry = t.SyscallEntry.Plus(Cost{Instrs: 2 * extraRegs, Stores: extraRegs})
+	t.ExceptionExit = t.SyscallExit.Plus(Cost{Instrs: 2 * extraRegs, Loads: extraRegs})
+
+	// Attach writes a synthetic frame (saved s-regs slot, return address,
+	// argument) onto a fresh stack; detach unlinks and re-queues it.
+	t.StackAttach = Cost{Instrs: 18, Loads: 2, Stores: 8}
+	t.StackDetach = Cost{Instrs: 10, Loads: 3, Stores: 3}
+	t.CallContinuation = Cost{Instrs: 8, Loads: 1, Stores: 1}
+	t.AddressSpaceSwitch = Cost{Instrs: 22, Loads: 6, Stores: 2}
+	return t
+}

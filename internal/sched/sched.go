@@ -1,0 +1,105 @@
+// Package sched provides the run-queue policy for the simulated kernel:
+// a fixed-priority, FIFO-within-priority queue with a configurable time
+// quantum, plus handoff-friendly accounting. Mechanism (how control moves
+// between threads) lives in internal/core; this package only decides who
+// runs next.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// NumPriorities is the number of distinct priority levels. Priority 0 is
+// the least urgent.
+const NumPriorities = 32
+
+// DefaultQuantum is the scheduling time slice, 100 ms as in contemporary
+// Mach.
+const DefaultQuantum = machine.Duration(100 * 1000 * 1000)
+
+// RunQueue is a global multi-level run queue. The simulator executes
+// processors one dispatcher step at a time from a single OS thread, so no
+// locking is needed; on a real multiprocessor this structure would be the
+// lock-protected global queue of early Mach.
+type RunQueue struct {
+	quantum machine.Duration
+	queues  [NumPriorities][]*core.Thread
+	count   int
+
+	// Enqueues and Dequeues count queue traffic, useful for verifying
+	// that fast paths (handoff, directed switch) bypass the queue.
+	Enqueues uint64
+	Dequeues uint64
+}
+
+// New returns a run queue with the given quantum (DefaultQuantum if 0).
+func New(quantum machine.Duration) *RunQueue {
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	return &RunQueue{quantum: quantum}
+}
+
+// Quantum implements core.Scheduler.
+func (q *RunQueue) Quantum() machine.Duration { return q.quantum }
+
+// Setrun implements core.Scheduler: it appends the thread at its priority
+// level.
+func (q *RunQueue) Setrun(t *core.Thread) {
+	if t.State != core.StateRunnable {
+		panic(fmt.Sprintf("sched: Setrun of %v in state %v", t, t.State))
+	}
+	p := t.Priority
+	if p < 0 {
+		p = 0
+	}
+	if p >= NumPriorities {
+		p = NumPriorities - 1
+	}
+	q.queues[p] = append(q.queues[p], t)
+	q.count++
+	q.Enqueues++
+}
+
+// SelectThread implements core.Scheduler: highest priority first, FIFO
+// within a level, nil when empty.
+func (q *RunQueue) SelectThread(p *core.Processor) *core.Thread {
+	if q.count == 0 {
+		return nil
+	}
+	for pri := NumPriorities - 1; pri >= 0; pri-- {
+		level := q.queues[pri]
+		if len(level) == 0 {
+			continue
+		}
+		t := level[0]
+		copy(level, level[1:])
+		q.queues[pri] = level[:len(level)-1]
+		q.count--
+		q.Dequeues++
+		return t
+	}
+	return nil
+}
+
+// HasWork implements core.Scheduler.
+func (q *RunQueue) HasWork() bool { return q.count > 0 }
+
+// MaxQueuedPriority implements core.Scheduler.
+func (q *RunQueue) MaxQueuedPriority() (int, bool) {
+	if q.count == 0 {
+		return 0, false
+	}
+	for pri := NumPriorities - 1; pri >= 0; pri-- {
+		if len(q.queues[pri]) > 0 {
+			return pri, true
+		}
+	}
+	return 0, false
+}
+
+// Len reports the number of queued threads.
+func (q *RunQueue) Len() int { return q.count }

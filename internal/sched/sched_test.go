@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func runnable(pri int) *core.Thread {
+	return &core.Thread{State: core.StateRunnable, Priority: pri}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := New(0)
+	if q.HasWork() || q.Len() != 0 {
+		t.Fatal("fresh queue has work")
+	}
+	if q.SelectThread(nil) != nil {
+		t.Fatal("SelectThread on empty queue returned a thread")
+	}
+	if q.Quantum() != DefaultQuantum {
+		t.Fatalf("Quantum = %v", q.Quantum())
+	}
+}
+
+func TestCustomQuantum(t *testing.T) {
+	q := New(12345)
+	if q.Quantum() != 12345 {
+		t.Fatalf("Quantum = %v", q.Quantum())
+	}
+}
+
+func TestFIFOWithinPriority(t *testing.T) {
+	q := New(0)
+	a, b, c := runnable(5), runnable(5), runnable(5)
+	q.Setrun(a)
+	q.Setrun(b)
+	q.Setrun(c)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i, want := range []*core.Thread{a, b, c} {
+		if got := q.SelectThread(nil); got != want {
+			t.Fatalf("dequeue %d: got %v", i, got)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	q := New(0)
+	low, high, mid := runnable(1), runnable(20), runnable(10)
+	q.Setrun(low)
+	q.Setrun(high)
+	q.Setrun(mid)
+	if q.SelectThread(nil) != high || q.SelectThread(nil) != mid || q.SelectThread(nil) != low {
+		t.Fatal("priority order violated")
+	}
+}
+
+func TestPriorityClamped(t *testing.T) {
+	q := New(0)
+	q.Setrun(runnable(-5))
+	q.Setrun(runnable(NumPriorities + 10))
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	first := q.SelectThread(nil)
+	if first.Priority != NumPriorities+10 {
+		t.Fatal("clamped high priority should still win")
+	}
+}
+
+func TestSetrunWrongStatePanics(t *testing.T) {
+	q := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Setrun of running thread did not panic")
+		}
+	}()
+	q.Setrun(&core.Thread{State: core.StateRunning})
+}
+
+func TestQueueCounters(t *testing.T) {
+	q := New(0)
+	q.Setrun(runnable(0))
+	q.SelectThread(nil)
+	if q.Enqueues != 1 || q.Dequeues != 1 {
+		t.Fatalf("enqueues=%d dequeues=%d", q.Enqueues, q.Dequeues)
+	}
+}
+
+// Property: every enqueued thread is dequeued exactly once, and dequeue
+// order respects priority.
+func TestQueueProperty(t *testing.T) {
+	f := func(pris []uint8) bool {
+		q := New(0)
+		for _, p := range pris {
+			q.Setrun(runnable(int(p) % NumPriorities))
+		}
+		last := NumPriorities
+		n := 0
+		for q.HasWork() {
+			th := q.SelectThread(nil)
+			if th == nil || th.Priority > last {
+				return false
+			}
+			last = th.Priority
+			n++
+		}
+		return n == len(pris) && q.Len() == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package stats collects the counters behind the paper's evaluation:
+// which block points fire (Table 1), how often stack discarding, stack
+// handoff and continuation recognition apply (Tables 1 and 2), and the
+// event trace used to reproduce Figure 2.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BlockReason classifies a blocking operation by the paper's Table 1 rows.
+type BlockReason int
+
+const (
+	// BlockReceive is a thread waiting in mach_msg to receive a message.
+	BlockReceive BlockReason = iota
+	// BlockException is a faulting thread waiting for its exception
+	// server's reply.
+	BlockException
+	// BlockPageFault is a thread waiting for a page to be filled.
+	BlockPageFault
+	// BlockThreadSwitch is a voluntary processor relinquishment from user
+	// level (thread_switch).
+	BlockThreadSwitch
+	// BlockPreempt is an involuntary preemption at quantum expiry.
+	BlockPreempt
+	// BlockInternal is an internal kernel thread waiting for work.
+	BlockInternal
+	// BlockKernelFault is a page fault taken in kernel mode (process
+	// model only; Table 1's bottom row).
+	BlockKernelFault
+	// BlockKernelAlloc is a wait for kernel memory (process model only).
+	BlockKernelAlloc
+	// BlockLock is a wait for a contended kernel lock (process model
+	// only).
+	BlockLock
+	numBlockReasons
+)
+
+// NumBlockReasons is the count of distinct reasons, for table iteration.
+const NumBlockReasons = int(numBlockReasons)
+
+func (r BlockReason) String() string {
+	switch r {
+	case BlockReceive:
+		return "message receive"
+	case BlockException:
+		return "exception"
+	case BlockPageFault:
+		return "page fault"
+	case BlockThreadSwitch:
+		return "thread switch"
+	case BlockPreempt:
+		return "preempt"
+	case BlockInternal:
+		return "internal threads"
+	case BlockKernelFault:
+		return "kernel fault"
+	case BlockKernelAlloc:
+		return "kernel alloc"
+	case BlockLock:
+		return "lock wait"
+	default:
+		return fmt.Sprintf("BlockReason(%d)", int(r))
+	}
+}
+
+// DiscardReasons lists the reasons that can block with a continuation and
+// therefore appear in Table 1's "Using Stack Discard" rows, in the
+// paper's row order.
+var DiscardReasons = []BlockReason{
+	BlockReceive, BlockException, BlockPageFault,
+	BlockThreadSwitch, BlockPreempt, BlockInternal,
+}
+
+// Kernel aggregates control-transfer statistics for one kernel run.
+type Kernel struct {
+	// BlocksWithDiscard counts blocks, per reason, that used a
+	// continuation and discarded (or handed off) the kernel stack.
+	BlocksWithDiscard [NumBlockReasons]uint64
+
+	// BlocksWithoutDiscard counts process-model blocks, per reason, that
+	// kept their stack (Table 1's "no stack discards" row).
+	BlocksWithoutDiscard [NumBlockReasons]uint64
+
+	// Handoffs counts blocks whose stack moved directly to the next
+	// thread (Table 2).
+	Handoffs uint64
+
+	// Recognitions counts control transfers where the resumer inspected
+	// the new thread's continuation and took a faster inline path
+	// (Table 2).
+	Recognitions uint64
+
+	// ContinuationCalls counts resumptions that went through the general
+	// call_continuation path (i.e. were not recognized away).
+	ContinuationCalls uint64
+
+	// ContextSwitches counts full register save/restore transfers.
+	ContextSwitches uint64
+
+	// StackAttaches counts stacks initialized for stackless threads.
+	StackAttaches uint64
+}
+
+// RecordBlock tallies one blocking operation.
+func (k *Kernel) RecordBlock(r BlockReason, discarded bool) {
+	if discarded {
+		k.BlocksWithDiscard[r]++
+	} else {
+		k.BlocksWithoutDiscard[r]++
+	}
+}
+
+// TotalBlocks returns all blocking operations observed.
+func (k *Kernel) TotalBlocks() uint64 {
+	var n uint64
+	for i := 0; i < NumBlockReasons; i++ {
+		n += k.BlocksWithDiscard[i] + k.BlocksWithoutDiscard[i]
+	}
+	return n
+}
+
+// TotalDiscards returns blocks that discarded or handed off their stack.
+func (k *Kernel) TotalDiscards() uint64 {
+	var n uint64
+	for i := 0; i < NumBlockReasons; i++ {
+		n += k.BlocksWithDiscard[i]
+	}
+	return n
+}
+
+// TotalNoDiscards returns process-model blocks that kept their stack.
+func (k *Kernel) TotalNoDiscards() uint64 {
+	return k.TotalBlocks() - k.TotalDiscards()
+}
+
+// Percent returns 100*part/whole, 0 when whole is 0.
+func Percent(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// TraceKind labels entries in an RPC/exception trace (Figure 2).
+type TraceKind int
+
+const (
+	TraceKernelEntry TraceKind = iota
+	TraceKernelExit
+	TraceCopyIn
+	TraceCopyOut
+	TraceFindReceiver
+	TraceStackHandoff
+	TraceRecognition
+	TraceContinuationCall
+	TraceContextSwitch
+	TraceBlock
+	TraceWakeup
+	TraceQueueMessage
+	TraceDequeueMessage
+	TraceSchedule
+	TraceNote
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceKernelEntry:
+		return "kernel-entry"
+	case TraceKernelExit:
+		return "kernel-exit"
+	case TraceCopyIn:
+		return "copy-in"
+	case TraceCopyOut:
+		return "copy-out"
+	case TraceFindReceiver:
+		return "find-receiver"
+	case TraceStackHandoff:
+		return "stack-handoff"
+	case TraceRecognition:
+		return "recognition"
+	case TraceContinuationCall:
+		return "call-continuation"
+	case TraceContextSwitch:
+		return "context-switch"
+	case TraceBlock:
+		return "block"
+	case TraceWakeup:
+		return "wakeup"
+	case TraceQueueMessage:
+		return "queue-message"
+	case TraceDequeueMessage:
+		return "dequeue-message"
+	case TraceSchedule:
+		return "schedule"
+	case TraceNote:
+		return "note"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEntry is one step in a recorded control-transfer path.
+type TraceEntry struct {
+	Kind   TraceKind
+	Thread string // name of the thread the step runs as
+	Detail string
+}
+
+func (e TraceEntry) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("[%s] %s", e.Thread, e.Kind)
+	}
+	return fmt.Sprintf("[%s] %s: %s", e.Thread, e.Kind, e.Detail)
+}
+
+// Trace records control-transfer steps when enabled. The zero value is a
+// disabled trace that discards entries, so tracing costs nothing unless a
+// test or tool turns it on.
+type Trace struct {
+	Enabled bool
+	Entries []TraceEntry
+}
+
+// Add appends an entry if the trace is enabled.
+func (t *Trace) Add(kind TraceKind, thread, detail string) {
+	if t == nil || !t.Enabled {
+		return
+	}
+	t.Entries = append(t.Entries, TraceEntry{Kind: kind, Thread: thread, Detail: detail})
+}
+
+// Reset discards recorded entries but keeps the enabled state.
+func (t *Trace) Reset() { t.Entries = t.Entries[:0] }
+
+// Kinds returns the sequence of entry kinds, convenient for asserting a
+// path shape in tests.
+func (t *Trace) Kinds() []TraceKind {
+	ks := make([]TraceKind, len(t.Entries))
+	for i, e := range t.Entries {
+		ks[i] = e.Kind
+	}
+	return ks
+}
+
+// Has reports whether any recorded entry has the given kind.
+func (t *Trace) Has(kind TraceKind) bool {
+	for _, e := range t.Entries {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, e := range t.Entries {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, e)
+	}
+	return b.String()
+}
+
+// Counter is a labelled monotonically increasing count, used by
+// workloads and servers for ad-hoc bookkeeping.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// NewCounter returns a named counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one. Add adds n. Value reads the count.
+func (c *Counter) Inc()           { c.n++ }
+func (c *Counter) Add(n uint64)   { c.n += n }
+func (c *Counter) Value() uint64  { return c.n }
+func (c *Counter) Name() string   { return c.name }
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.name, c.n) }
+
+// Set is a bag of counters addressed by name, for workload-level stats.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]*Counter)} }
+
+// Get returns the named counter, creating it on first use.
+func (s *Set) Get(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = NewCounter(name)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Names returns the counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Set) String() string {
+	parts := make([]string, 0, len(s.counters))
+	for _, n := range s.Names() {
+		parts = append(parts, s.counters[n].String())
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,154 @@
+package stats
+
+import "testing"
+
+func TestRecordBlockTotals(t *testing.T) {
+	var k Kernel
+	k.RecordBlock(BlockReceive, true)
+	k.RecordBlock(BlockReceive, true)
+	k.RecordBlock(BlockPreempt, true)
+	k.RecordBlock(BlockKernelFault, false)
+	if k.TotalBlocks() != 4 {
+		t.Fatalf("TotalBlocks = %d", k.TotalBlocks())
+	}
+	if k.TotalDiscards() != 3 {
+		t.Fatalf("TotalDiscards = %d", k.TotalDiscards())
+	}
+	if k.TotalNoDiscards() != 1 {
+		t.Fatalf("TotalNoDiscards = %d", k.TotalNoDiscards())
+	}
+	if k.BlocksWithDiscard[BlockReceive] != 2 {
+		t.Fatalf("receive discards = %d", k.BlocksWithDiscard[BlockReceive])
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(1, 0) != 0 {
+		t.Fatal("Percent with zero whole should be 0")
+	}
+	if got := Percent(25, 100); got != 25 {
+		t.Fatalf("Percent = %v", got)
+	}
+	if got := Percent(1, 3); got < 33.3 || got > 33.4 {
+		t.Fatalf("Percent(1,3) = %v", got)
+	}
+}
+
+func TestBlockReasonStrings(t *testing.T) {
+	cases := map[BlockReason]string{
+		BlockReceive:      "message receive",
+		BlockException:    "exception",
+		BlockPageFault:    "page fault",
+		BlockThreadSwitch: "thread switch",
+		BlockPreempt:      "preempt",
+		BlockInternal:     "internal threads",
+		BlockKernelFault:  "kernel fault",
+		BlockKernelAlloc:  "kernel alloc",
+		BlockLock:         "lock wait",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if BlockReason(99).String() != "BlockReason(99)" {
+		t.Error("unknown reason string")
+	}
+}
+
+func TestDiscardReasonsMatchPaperRows(t *testing.T) {
+	want := []BlockReason{
+		BlockReceive, BlockException, BlockPageFault,
+		BlockThreadSwitch, BlockPreempt, BlockInternal,
+	}
+	if len(DiscardReasons) != len(want) {
+		t.Fatalf("DiscardReasons has %d rows", len(DiscardReasons))
+	}
+	for i, r := range want {
+		if DiscardReasons[i] != r {
+			t.Fatalf("row %d = %v, want %v", i, DiscardReasons[i], r)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	var tr Trace
+	tr.Add(TraceKernelEntry, "t", "x")
+	if len(tr.Entries) != 0 {
+		t.Fatal("disabled trace recorded an entry")
+	}
+	var nilTrace *Trace
+	nilTrace.Add(TraceKernelEntry, "t", "x") // must not panic
+}
+
+func TestTraceRecording(t *testing.T) {
+	tr := Trace{Enabled: true}
+	tr.Add(TraceKernelEntry, "client", "mach_msg")
+	tr.Add(TraceStackHandoff, "server", "from client")
+	tr.Add(TraceRecognition, "server", "mach_msg_continue")
+	kinds := tr.Kinds()
+	if len(kinds) != 3 || kinds[1] != TraceStackHandoff {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if !tr.Has(TraceRecognition) || tr.Has(TraceContextSwitch) {
+		t.Fatal("Has misreports")
+	}
+	if tr.String() == "" {
+		t.Fatal("empty String for non-empty trace")
+	}
+	tr.Reset()
+	if len(tr.Entries) != 0 || !tr.Enabled {
+		t.Fatal("Reset misbehaved")
+	}
+}
+
+func TestTraceEntryString(t *testing.T) {
+	e := TraceEntry{Kind: TraceCopyIn, Thread: "client"}
+	if e.String() != "[client] copy-in" {
+		t.Fatalf("String = %q", e.String())
+	}
+	e.Detail = "24 bytes"
+	if e.String() != "[client] copy-in: 24 bytes" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestTraceKindStringsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for k := TraceKernelEntry; k <= TraceNote; k++ {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("rpcs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 || c.Name() != "rpcs" {
+		t.Fatalf("counter = %v", c)
+	}
+	if c.String() != "rpcs=5" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	s := NewSet()
+	s.Get("b").Inc()
+	s.Get("a").Add(2)
+	s.Get("b").Inc()
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if s.Get("b").Value() != 2 {
+		t.Fatalf("b = %d", s.Get("b").Value())
+	}
+	if s.String() != "a=2 b=2" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

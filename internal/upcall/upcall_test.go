@@ -1,0 +1,195 @@
+package upcall_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/upcall"
+)
+
+func newSys(t *testing.T, flavor kern.Flavor) *kern.System {
+	t.Helper()
+	return kern.New(kern.Config{Flavor: flavor, Arch: machine.ArchDS3100, DisableCallout: true})
+}
+
+func TestPoolParksStackless(t *testing.T) {
+	sys := newSys(t, kern.MK40)
+	task := sys.NewTask("svc")
+	pool := upcall.NewPool(sys, task, 4)
+	sys.Run(0)
+	if pool.Idle() != 4 {
+		t.Fatalf("idle = %d", pool.Idle())
+	}
+	// Parked pool threads are continuation-blocked: no kernel stacks.
+	if sys.K.Stacks.InUse() != 0 {
+		t.Fatalf("stacks in use = %d", sys.K.Stacks.InUse())
+	}
+}
+
+func TestUpcallDispatch(t *testing.T) {
+	sys := newSys(t, kern.MK40)
+	task := sys.NewTask("svc")
+	pool := upcall.NewPool(sys, task, 2)
+	sys.Run(0)
+
+	var ran int
+	ok := pool.Upcall(func() core.Action {
+		ran++
+		return core.RunFor(1000)
+	})
+	if !ok {
+		t.Fatal("Upcall found no idle thread")
+	}
+	sys.Run(0)
+	if ran != 1 || pool.Completed != 1 {
+		t.Fatalf("ran=%d completed=%d", ran, pool.Completed)
+	}
+	// The thread re-parks after the upcall.
+	if pool.Idle() != 2 {
+		t.Fatalf("idle after upcall = %d", pool.Idle())
+	}
+}
+
+func TestUpcallOverflow(t *testing.T) {
+	sys := newSys(t, kern.MK40)
+	task := sys.NewTask("svc")
+	pool := upcall.NewPool(sys, task, 1)
+	sys.Run(0)
+	if !pool.Upcall(func() core.Action { return core.RunFor(10) }) {
+		t.Fatal("first upcall failed")
+	}
+	// The single thread is claimed; a second upcall before it re-parks
+	// overflows.
+	if pool.Upcall(func() core.Action { return core.RunFor(10) }) {
+		t.Fatal("second upcall should overflow")
+	}
+	if pool.Overflows != 1 {
+		t.Fatalf("Overflows = %d", pool.Overflows)
+	}
+	sys.Run(0)
+}
+
+func TestUpcallBurst(t *testing.T) {
+	for _, flavor := range []kern.Flavor{kern.MK40, kern.MK32} {
+		sys := newSys(t, flavor)
+		task := sys.NewTask("svc")
+		pool := upcall.NewPool(sys, task, 3)
+		sys.Run(0)
+		total := 0
+		for round := 0; round < 5; round++ {
+			for i := 0; i < 3; i++ {
+				if !pool.Upcall(func() core.Action {
+					total++
+					return core.RunFor(100)
+				}) {
+					t.Fatalf("%v: upcall %d/%d failed", flavor, round, i)
+				}
+			}
+			sys.Run(0)
+		}
+		if total != 15 || pool.Completed != 15 {
+			t.Fatalf("%v: total=%d completed=%d", flavor, total, pool.Completed)
+		}
+	}
+}
+
+func TestAsyncIOCompletionContinuation(t *testing.T) {
+	sys := newSys(t, kern.MK40)
+	aio := upcall.NewAsyncIO(sys)
+	task := sys.NewTask("app")
+
+	var completed []int
+	mkCont := func(n int) *core.Continuation {
+		return core.NewContinuation("io_done", func(e *core.Env) {
+			completed = append(completed, n)
+			e.K.ThreadSyscallReturn(e, uint64(n))
+		})
+	}
+
+	step := 0
+	prog := core.ProgramFunc(func(e *core.Env, th *core.Thread) core.Action {
+		step++
+		switch step {
+		case 1:
+			// Submit two I/Os, keep computing, then wait for both.
+			return core.Syscall("aio_submit", func(e *core.Env) {
+				aio.Submit(e, 1000*1000, mkCont(1))
+				aio.Submit(e, 2000*1000, mkCont(2))
+				e.K.ThreadSyscallReturn(e, 0)
+			})
+		case 2:
+			return core.RunFor(5000) // overlap compute with I/O
+		case 3, 4:
+			return core.Syscall("aio_wait", func(e *core.Env) { aio.Wait(e) })
+		default:
+			return core.Exit()
+		}
+	})
+	sys.Start(task.NewThread("app", prog, 10))
+	sys.Run(0)
+
+	if len(completed) != 2 || completed[0] != 1 || completed[1] != 2 {
+		t.Fatalf("completed = %v", completed)
+	}
+	if aio.Submitted != 2 || aio.Completed != 2 {
+		t.Fatalf("submitted=%d completed=%d", aio.Submitted, aio.Completed)
+	}
+	// At least one completion should have replaced the wait continuation
+	// in place (the thread was blocked in aio_wait when the disk event
+	// fired).
+	if aio.Replacements == 0 {
+		t.Fatal("no continuation replacement observed")
+	}
+}
+
+func TestAsyncIOWaitWithoutSubmitPanics(t *testing.T) {
+	sys := newSys(t, kern.MK40)
+	aio := upcall.NewAsyncIO(sys)
+	task := sys.NewTask("app")
+	prog := core.ProgramFunc(func(e *core.Env, th *core.Thread) core.Action {
+		return core.Syscall("aio_wait", func(e *core.Env) { aio.Wait(e) })
+	})
+	sys.Start(task.NewThread("app", prog, 10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wait without inflight I/O did not panic")
+		}
+	}()
+	sys.Run(0)
+}
+
+func TestAsyncIOProcessModel(t *testing.T) {
+	// The same program works on a process-model kernel (completions are
+	// collected through the preserved-stack resume).
+	sys := newSys(t, kern.MK32)
+	aio := upcall.NewAsyncIO(sys)
+	task := sys.NewTask("app")
+	var done bool
+	cont := core.NewContinuation("io_done_pm", func(e *core.Env) {
+		done = true
+		e.K.ThreadSyscallReturn(e, 0)
+	})
+	step := 0
+	prog := core.ProgramFunc(func(e *core.Env, th *core.Thread) core.Action {
+		step++
+		switch step {
+		case 1:
+			return core.Syscall("aio", func(e *core.Env) {
+				aio.Submit(e, 500*1000, cont)
+				aio.Wait(e)
+			})
+		default:
+			return core.Exit()
+		}
+	})
+	sys.Start(task.NewThread("app", prog, 10))
+	sys.Run(0)
+	if !done {
+		t.Fatal("completion continuation never ran")
+	}
+	if aio.Replacements != 0 {
+		t.Fatal("process-model kernel cannot replace continuations")
+	}
+}

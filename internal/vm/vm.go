@@ -1,0 +1,377 @@
+// Package vm is the virtual-memory substrate of the simulated kernel:
+// per-task address spaces, a resident-page set over a fixed pool of
+// physical frames, a simulated paging disk, and a pageout daemon (an
+// internal kernel thread written in the paper's §2.2 tail-recursive
+// continuation style).
+//
+// Fault handling follows §2.5:
+//
+//   - a user-level fault on a non-resident page blocks the faulting
+//     thread with a continuation that maps the new page and resumes the
+//     thread at user level, so faulting threads consume no kernel stacks;
+//
+//   - a kernel-mode fault preserves the thread's kernel state and stack —
+//     the process-model safety net — because a thread can fault anywhere
+//     in the kernel and generating a continuation there would be
+//     impractical.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// PageSize is the machine page size (both evaluation machines use 4 KB).
+const PageSize = 4096
+
+// PageShift converts addresses to page numbers.
+const PageShift = 12
+
+// DefaultDiskLatency is the simulated page-in latency: a late-1980s SCSI
+// disk needs on the order of 20 ms for a seek plus a page transfer.
+const DefaultDiskLatency = machine.Duration(20 * 1000 * 1000)
+
+// faultSoftCost is the machine-independent work of looking up a fault:
+// validating the address, walking the map entries, checking protections.
+var faultSoftCost = machine.Cost{Instrs: 120, Loads: 30, Stores: 8}
+
+// faultMapCost is the work of entering a new page into the pmap.
+var faultMapCost = machine.Cost{Instrs: 90, Loads: 15, Stores: 20}
+
+// evictCost is the per-page work of the pageout daemon.
+var evictCost = machine.Cost{Instrs: 150, Loads: 40, Stores: 25}
+
+// Space is one task's address space: the set of resident virtual pages.
+// The simulator does not store page contents; residency, sharing and
+// mapping cost are what the paper's paths exercise.
+type Space struct {
+	ID       int
+	resident map[uint64]*pageEntry
+}
+
+// Resident reports whether the page holding addr is mapped.
+func (s *Space) Resident(addr uint64) bool {
+	return s.resident[addr>>PageShift] != nil
+}
+
+// ResidentPages counts mapped pages.
+func (s *Space) ResidentPages() int { return len(s.resident) }
+
+// pageRef identifies one resident page for the eviction queue.
+type pageRef struct {
+	space *Space
+	page  uint64
+}
+
+// VM is the virtual-memory subsystem.
+type VM struct {
+	K *core.Kernel
+
+	// TotalFrames and FreeFrames describe the physical page pool.
+	TotalFrames int
+	FreeFrames  int
+
+	// DiskLatency is the simulated page-in/page-out time.
+	DiskLatency machine.Duration
+
+	// LowWater and HighWater bound the pageout daemon: it wakes below
+	// LowWater free frames and evicts until HighWater are free.
+	LowWater  int
+	HighWater int
+
+	spaces map[int]*Space
+
+	// fifo is the eviction queue of resident pages, oldest first.
+	fifo []pageRef
+
+	// waiters are threads blocked until a frame frees up.
+	waiters []*core.Thread
+
+	// Daemon is the pageout kernel thread.
+	Daemon *core.Thread
+
+	// ContFaultContinue is the continuation a faulting thread blocks
+	// with while its page comes in from disk; exported so tests and
+	// recognition sites can compare against it.
+	ContFaultContinue *core.Continuation
+
+	// ContFaultRetry re-runs the fault after waiting for a free frame.
+	ContFaultRetry *core.Continuation
+
+	contPageout *core.Continuation
+
+	// Counters.
+	FastFaults   uint64 // page already resident
+	DiskFaults   uint64 // waited for the disk
+	FrameWaits   uint64 // waited for a free frame
+	KernelFaults uint64 // kernel-mode faults (process model)
+	Evictions    uint64
+	CowShares    uint64 // pages mapped copy-on-write
+	CowBreaks    uint64 // write faults that resolved a shared page
+}
+
+// blockReasonFault names the Table 1 row page-fault blocks land in.
+const blockReasonFault = stats.BlockPageFault
+
+// Config sizes the VM subsystem.
+type Config struct {
+	// Frames is the physical page pool size (default 2048 = 8 MB).
+	Frames int
+	// DiskLatency overrides DefaultDiskLatency when nonzero.
+	DiskLatency machine.Duration
+}
+
+// New creates the VM subsystem, installs its fault handler on the kernel,
+// and creates (but does not start) the pageout daemon. Call StartDaemon
+// once the scheduler is in place.
+func New(k *core.Kernel, cfg Config) *VM {
+	frames := cfg.Frames
+	if frames <= 0 {
+		frames = 2048
+	}
+	lat := cfg.DiskLatency
+	if lat == 0 {
+		lat = DefaultDiskLatency
+	}
+	v := &VM{
+		K:           k,
+		TotalFrames: frames,
+		FreeFrames:  frames,
+		DiskLatency: lat,
+		LowWater:    frames / 16,
+		HighWater:   frames / 8,
+		spaces:      make(map[int]*Space),
+	}
+	if v.LowWater < 2 {
+		v.LowWater = 2
+	}
+	if v.HighWater <= v.LowWater {
+		v.HighWater = v.LowWater + 2
+	}
+
+	v.ContFaultContinue = core.NewContinuation("vm_fault_continue", v.faultContinue)
+	v.ContFaultRetry = core.NewContinuation("vm_fault_retry", v.faultRetry)
+	v.contPageout = core.NewContinuation("pageout_continue", v.pageoutLoop)
+
+	k.HandleFault = v.HandleFault
+	v.Daemon = k.NewThread(core.ThreadSpec{
+		Name:     "pageout",
+		SpaceID:  0,
+		Internal: true,
+		Priority: 30,
+		Start:    v.contPageout,
+		StartPM:  v.pageoutStepPM(k),
+	})
+	return v
+}
+
+// pageoutStepPM is the process-model start step of the daemon, used when
+// the kernel does not support continuations.
+func (v *VM) pageoutStepPM(k *core.Kernel) func(*core.Env) {
+	if k.UseContinuations {
+		return nil
+	}
+	return func(e *core.Env) { v.pageoutLoop(e) }
+}
+
+// NewSpace registers an address space for a task.
+func (v *VM) NewSpace(id int) *Space {
+	if _, dup := v.spaces[id]; dup {
+		panic(fmt.Sprintf("vm: duplicate space %d", id))
+	}
+	s := &Space{ID: id, resident: make(map[uint64]*pageEntry)}
+	v.spaces[id] = s
+	return s
+}
+
+// SpaceOf returns the space a thread runs in.
+func (v *VM) SpaceOf(t *core.Thread) *Space {
+	s := v.spaces[t.SpaceID]
+	if s == nil {
+		panic(fmt.Sprintf("vm: %v runs in unregistered space %d", t, t.SpaceID))
+	}
+	return s
+}
+
+// HandleFault services a user-level page fault on the current thread.
+// Installed as the kernel's fault handler; terminal.
+func (v *VM) HandleFault(e *core.Env, addr uint64, write bool) {
+	e.Charge(faultSoftCost)
+	t := e.Cur()
+	sp := v.SpaceOf(t)
+	if entry := sp.resident[addr>>PageShift]; entry != nil {
+		if write && entry.shared != nil {
+			// A store to a copy-on-write page: resolve the sharing.
+			v.breakCow(e, sp, addr>>PageShift, entry)
+		}
+		// The page arrived while we trapped (or the program re-touched a
+		// mapped page): nothing to wait for.
+		v.FastFaults++
+		v.K.ThreadExceptionReturn(e)
+	}
+	v.fault(e, addr, write)
+}
+
+// fault starts a page-in for addr, blocking the current thread. Also the
+// body of the retry continuation. Terminal.
+func (v *VM) fault(e *core.Env, addr uint64, write bool) {
+	t := e.Cur()
+	page := addr >> PageShift
+	wflag := uint32(0)
+	if write {
+		wflag = 1
+	}
+	if v.FreeFrames == 0 {
+		// Wait for the pageout daemon to free a frame, then retry the
+		// whole fault.
+		v.FrameWaits++
+		v.waiters = append(v.waiters, t)
+		v.wakeDaemon()
+		t.Scratch.PutWord(0, uint32(page))
+		t.Scratch.PutWord(1, wflag)
+		t.State = core.StateWaiting
+		t.WaitLabel = "vm: frame wait"
+		v.K.Block(e, stats.BlockPageFault, v.ContFaultRetry,
+			func(e2 *core.Env) { v.HandleFault(e2, page<<PageShift, write) }, 160, "vm-frame-wait")
+	}
+
+	// Claim a frame and start the disk read.
+	v.FreeFrames--
+	if v.FreeFrames < v.LowWater {
+		v.wakeDaemon()
+	}
+	v.DiskFaults++
+	sp := v.SpaceOf(t)
+	v.K.Clock.After(v.DiskLatency, "page-in", func() {
+		// Disk interrupt: the page is in memory; map it and wake the
+		// faulter. Mapping cost is charged in the faulter's continuation.
+		sp.resident[page] = &pageEntry{}
+		v.fifo = append(v.fifo, pageRef{space: sp, page: page})
+		v.K.Setrun(t)
+	})
+	t.Scratch.PutWord(0, uint32(page))
+	t.Scratch.PutWord(1, wflag)
+	t.State = core.StateWaiting
+	t.WaitLabel = "vm: page-in"
+	v.K.Block(e, stats.BlockPageFault, v.ContFaultContinue,
+		func(e2 *core.Env) { v.faultContinue(e2) }, 160, "vm-page-in")
+}
+
+// faultContinue runs when the page-in completes: enter the page into the
+// pmap and resume the thread at user level. Terminal.
+func (v *VM) faultContinue(e *core.Env) {
+	e.Charge(faultMapCost)
+	v.K.ThreadExceptionReturn(e)
+}
+
+// faultRetry re-runs the fault after a frame wait. Terminal.
+func (v *VM) faultRetry(e *core.Env) {
+	t := e.Cur()
+	page := uint64(t.Scratch.Word(0))
+	v.HandleFault(e, page<<PageShift, t.Scratch.Word(1) != 0)
+}
+
+// KernelFault services a page fault taken in kernel mode: the thread's
+// kernel state and stack are preserved — the process model is the safety
+// net here even in the continuation kernel (§2.5). resume continues the
+// interrupted kernel path. Terminal.
+func (v *VM) KernelFault(e *core.Env, frameBytes int, resume func(*core.Env)) {
+	e.Charge(faultSoftCost)
+	v.KernelFaults++
+	t := e.Cur()
+	if v.FreeFrames > 0 {
+		v.FreeFrames--
+		if v.FreeFrames < v.LowWater {
+			v.wakeDaemon()
+		}
+	}
+	v.K.Clock.After(v.DiskLatency, "kernel-page-in", func() {
+		v.K.Setrun(t)
+	})
+	t.State = core.StateWaiting
+	t.WaitLabel = "vm: kernel fault"
+	v.K.Block(e, stats.BlockKernelFault, nil, func(e2 *core.Env) {
+		e2.Charge(faultMapCost)
+		resume(e2)
+	}, frameBytes, "kernel-fault")
+}
+
+// wakeDaemon makes the pageout thread runnable if it is sleeping.
+func (v *VM) wakeDaemon() {
+	if v.Daemon.State == core.StateWaiting {
+		v.K.Setrun(v.Daemon)
+	}
+}
+
+// pageoutLoop is the daemon's work loop, §2.2 style: do work, then block
+// with this same continuation, achieving the infinite loop through tail
+// recursion. Terminal.
+func (v *VM) pageoutLoop(e *core.Env) {
+	for v.FreeFrames < v.HighWater && len(v.fifo) > 0 {
+		ref := v.fifo[0]
+		v.fifo = v.fifo[1:]
+		entry := ref.space.resident[ref.page]
+		if entry == nil {
+			continue // already unmapped
+		}
+		delete(ref.space.resident, ref.page)
+		e.Charge(evictCost)
+		v.Evictions++
+		if entry.shared != nil {
+			// Unmapping one copy-on-write mapping frees the frame only
+			// when the last mapper goes.
+			entry.shared.refs--
+			if entry.shared.refs > 0 {
+				continue
+			}
+		}
+		v.FreeFrames++
+	}
+	// Frames freed: retry the frame-waiters.
+	if v.FreeFrames > 0 && len(v.waiters) > 0 {
+		n := len(v.waiters)
+		if n > v.FreeFrames {
+			n = v.FreeFrames
+		}
+		for _, t := range v.waiters[:n] {
+			v.K.Setrun(t)
+		}
+		v.waiters = append(v.waiters[:0], v.waiters[n:]...)
+	}
+	d := e.Cur()
+	d.State = core.StateWaiting
+	d.WaitLabel = "pageout: idle"
+	v.K.Block(e, stats.BlockInternal, v.contPageout,
+		func(e2 *core.Env) { v.pageoutLoop(e2) }, 256, "pageout-wait")
+}
+
+// Touch marks a page resident without a fault, for tests and workload
+// setup (pre-faulted working sets).
+func (v *VM) Touch(spaceID int, addr uint64) {
+	sp := v.spaces[spaceID]
+	if sp == nil {
+		panic(fmt.Sprintf("vm: Touch on unregistered space %d", spaceID))
+	}
+	page := addr >> PageShift
+	if sp.resident[page] != nil {
+		return
+	}
+	if v.FreeFrames == 0 {
+		panic("vm: Touch with no free frames")
+	}
+	v.FreeFrames--
+	sp.resident[page] = &pageEntry{}
+	v.fifo = append(v.fifo, pageRef{space: sp, page: page})
+}
+
+// ResidentTotal counts resident pages across all spaces.
+func (v *VM) ResidentTotal() int {
+	n := 0
+	for _, s := range v.spaces {
+		n += len(s.resident)
+	}
+	return n
+}

@@ -1,0 +1,52 @@
+package workload
+
+// RNG is a SplitMix64 pseudo-random generator: tiny, fast, and fully
+// deterministic, so every workload replays identically for a given seed.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n).
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: Uint64n with zero bound")
+	}
+	return r.Next() % n
+}
+
+// Burst returns a duration-like value centred on mean: uniform in
+// [mean/2, 3*mean/2), a cheap stand-in for the CPU-burst distribution.
+func (r *RNG) Burst(mean uint64) uint64 {
+	if mean == 0 {
+		return 0
+	}
+	return mean/2 + r.Uint64n(mean)
+}
+
+// Hit reports true with probability per10k/10000.
+func (r *RNG) Hit(per10k int) bool {
+	if per10k <= 0 {
+		return false
+	}
+	return r.Intn(10000) < per10k
+}

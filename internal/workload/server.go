@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/exc"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Server is a user-level service task thread: the Unix server, the AFS
+// cache manager, or an MS-DOS emulator's exception handler. It receives
+// requests on a port, burns some user CPU handling each, optionally
+// waits for a remote (network) completion — whose arrival kicks the
+// internal network daemon — optionally kicks a device daemon directly,
+// and replies.
+type Server struct {
+	sys  *kern.System
+	port *ipc.Port
+	rng  *RNG
+
+	// WorkCycles is the user CPU burned per request.
+	WorkCycles uint64
+
+	// KickDaemon, when non-nil, is kicked every KickEvery requests
+	// (local-device work such as disk interrupts).
+	KickDaemon *Daemon
+	KickEvery  int
+
+	// RemotePer10k of requests need a network round trip of
+	// RemoteLatency before the reply; the packet arrival kicks
+	// RemoteKick (the network daemon), whether or not the CPU is busy.
+	RemotePer10k  int
+	RemoteLatency machine.Duration
+	RemoteKick    *Daemon
+
+	// contNetWait resumes the server after its network wait.
+	contNetWait *core.Continuation
+
+	// Handled counts completed requests; Remotes counts those that went
+	// to the network.
+	Handled uint64
+	Remotes uint64
+
+	pending *ipc.Message
+	worked  bool
+	waited  bool
+	sinceK  int
+}
+
+// NewServer creates a server program; the caller wraps it in a thread.
+func NewServer(sys *kern.System, port *ipc.Port, workCycles uint64) *Server {
+	s := &Server{sys: sys, port: port, WorkCycles: workCycles, rng: NewRNG(0x5e1f)}
+	s.contNetWait = core.NewContinuation("afs_net_wait_continue", func(e *core.Env) {
+		sys.K.ThreadSyscallReturn(e, 0)
+	})
+	return s
+}
+
+// Next implements core.UserProgram: receive, work, (remote wait,) reply,
+// forever.
+func (s *Server) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := s.sys.IPC.Received(t); m != nil {
+		s.pending = m
+		s.worked = false
+		s.waited = false
+	}
+	if s.pending == nil {
+		return core.Syscall("mach_msg(receive)", func(e *core.Env) {
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
+		})
+	}
+	if !s.worked && s.WorkCycles > 0 {
+		s.worked = true
+		return core.RunFor(s.WorkCycles)
+	}
+	if !s.waited && s.rng.Hit(s.RemotePer10k) {
+		// A cache miss: ask the file server over the network and wait
+		// for the reply packet. The wait is a message receive from the
+		// network service; the packet arrival runs the network daemon.
+		s.waited = true
+		s.Remotes++
+		return core.Syscall("mach_msg(net-receive)", func(e *core.Env) {
+			th := e.Cur()
+			s.sys.K.Clock.After(s.RemoteLatency, "afs-packet", func() {
+				if s.RemoteKick != nil {
+					s.RemoteKick.Kick()
+				}
+				if th.State == core.StateWaiting {
+					s.sys.K.Setrun(th)
+				}
+			})
+			th.State = core.StateWaiting
+			th.WaitLabel = "afs: network wait"
+			s.sys.K.Block(e, stats.BlockReceive, s.contNetWait,
+				func(e2 *core.Env) { s.sys.K.ThreadSyscallReturn(e2, 0) },
+				192, "afs-net-wait")
+		})
+	}
+	req := s.pending
+	s.pending = nil
+	s.Handled++
+	if s.KickDaemon != nil {
+		s.sinceK++
+		if s.sinceK >= s.KickEvery {
+			s.sinceK = 0
+			s.KickDaemon.Kick()
+		}
+	}
+	return core.Syscall("mach_msg(reply+receive)", func(e *core.Env) {
+		reply := s.sys.IPC.NewMessage(req.OpID|0x8000, req.Size, req.Body, nil)
+		s.sys.IPC.MachMsg(e, ipc.MsgOptions{
+			Send:        reply,
+			SendTo:      req.Reply,
+			ReceiveFrom: s.port,
+		})
+	})
+}
+
+// ExcServer is the user-level exception handler of the MS-DOS emulation:
+// it receives exception RPCs from the kernel, emulates the privileged
+// instruction with some user work, and replies so the kernel restarts the
+// faulting thread.
+type ExcServer struct {
+	sys        *kern.System
+	port       *ipc.Port
+	WorkCycles uint64
+
+	Handled uint64
+	pending *ipc.Message
+	worked  bool
+}
+
+// NewExcServer creates the exception-server program.
+func NewExcServer(sys *kern.System, port *ipc.Port, workCycles uint64) *ExcServer {
+	return &ExcServer{sys: sys, port: port, WorkCycles: workCycles}
+}
+
+// Next implements core.UserProgram.
+func (s *ExcServer) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := s.sys.IPC.Received(t); m != nil {
+		s.pending = m
+		s.worked = false
+	}
+	if s.pending == nil {
+		return core.Syscall("mach_msg(receive)", func(e *core.Env) {
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
+		})
+	}
+	if !s.worked && s.WorkCycles > 0 {
+		s.worked = true
+		return core.RunFor(s.WorkCycles)
+	}
+	req := s.pending
+	s.pending = nil
+	if _, ok := req.Body.(exc.ExcInfo); !ok {
+		panic("workload: exception server received a non-exception message")
+	}
+	s.Handled++
+	return core.Syscall("mach_msg(exc-reply+receive)", func(e *core.Env) {
+		reply := s.sys.IPC.NewMessage(ipc.ExcOpRaise+100, ipc.HeaderBytes, nil, nil)
+		s.sys.IPC.MachMsg(e, ipc.MsgOptions{
+			Send:        reply,
+			SendTo:      req.Reply,
+			ReceiveFrom: s.port,
+		})
+	})
+}
