@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	machsim [-workload compile|build|dos] [-flavor mk40|mk32|mach25]
+//	machsim [-workload compile|build|dos|netrpc] [-flavor mk40|mk32|mach25]
 //	        [-arch ds3100|toshiba] [-scale f] [-seed n] [-v]
+//
+// The netrpc workload boots two machines joined by a NIC pair and runs
+// cross-machine echo RPCs through the in-kernel netmsg threads, printing
+// per-machine block tables plus the device subsystem's counters.
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 )
 
 var (
-	workloadName = flag.String("workload", "compile", "compile, build, or dos")
+	workloadName = flag.String("workload", "compile", "compile, build, dos, or netrpc")
 	flavorName   = flag.String("flavor", "mk40", "mk40, mk32, or mach25")
 	archName     = flag.String("arch", "toshiba", "ds3100 or toshiba")
 	scale        = flag.Float64("scale", 0.25, "fraction of the paper's duration to simulate")
@@ -30,19 +34,6 @@ var (
 
 func main() {
 	flag.Parse()
-
-	var spec workload.Spec
-	switch *workloadName {
-	case "compile":
-		spec = workload.CompileTest()
-	case "build":
-		spec = workload.KernelBuild()
-	case "dos":
-		spec = workload.DOSEmulation()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadName)
-		os.Exit(2)
-	}
 
 	var flavor kern.Flavor
 	switch *flavorName {
@@ -65,6 +56,24 @@ func main() {
 		arch = machine.ArchToshiba5200
 	default:
 		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *archName)
+		os.Exit(2)
+	}
+
+	if *workloadName == "netrpc" {
+		runNetRPC(flavor, arch)
+		return
+	}
+
+	var spec workload.Spec
+	switch *workloadName {
+	case "compile":
+		spec = workload.CompileTest()
+	case "build":
+		spec = workload.KernelBuild()
+	case "dos":
+		spec = workload.DOSEmulation()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadName)
 		os.Exit(2)
 	}
 
@@ -115,5 +124,53 @@ func main() {
 			fmt.Printf("  exceptions handled    %12d\n", inst.ExcServer.Handled)
 		}
 		fmt.Printf("  user time             %12.0f ms\n", float64(sys.K.UserTime)/1e6)
+	}
+}
+
+// runNetRPC drives the two-machine echo workload and prints per-machine
+// block tables plus the device subsystem counters.
+func runNetRPC(flavor kern.Flavor, arch machine.Arch) {
+	spec := workload.DefaultNetRPC()
+	res := workload.RunNetRPC(flavor, arch, spec)
+
+	fmt.Printf("NetRPC on %v/%v — %d cross-machine RPCs completed in %.2f simulated ms (%d cluster steps)\n",
+		flavor, arch, res.Completed, float64(res.Elapsed)/1e6, res.Steps)
+
+	names := []string{"machine A (client)", "machine B (server)"}
+	for i, sys := range []*kern.System{res.Client, res.Server} {
+		st := sys.K.Stats
+		total := st.TotalBlocks()
+		fmt.Printf("\n%s — %d blocking operations\n", names[i], total)
+		fmt.Printf("%-20s %12s %8s\n", "operation", "blocks", "%")
+		for _, r := range stats.DiscardReasons {
+			n := st.BlocksWithDiscard[r]
+			fmt.Printf("%-20s %12d %7.1f%%\n", r, n, stats.Percent(n, total))
+		}
+		fmt.Printf("%-20s %12d %7.1f%%\n", "total stack discards",
+			st.TotalDiscards(), stats.Percent(st.TotalDiscards(), total))
+		fmt.Printf("%-20s %12d %7.1f%%\n", "no stack discards",
+			st.TotalNoDiscards(), stats.Percent(st.TotalNoDiscards(), total))
+		fmt.Printf("%-20s %12d %7.1f%%\n", "stack handoff", st.Handoffs,
+			stats.Percent(st.Handoffs, total))
+		fmt.Printf("%-20s %12d %7.1f%%\n", "recognition", st.Recognitions,
+			stats.Percent(st.Recognitions, total))
+
+		fmt.Printf("\n  devices:\n")
+		fmt.Printf("    interrupts taken          %8d (all on the current stack)\n", st.Interrupts)
+		hc := sys.Dev.HandlerCost
+		fmt.Printf("    handler cycles            %8d instrs, %d loads, %d stores\n",
+			hc.Instrs, hc.Loads, hc.Stores)
+		fmt.Printf("    io_done handoffs          %8d, recognitions %d\n",
+			sys.Dev.IoDoneHandoffs, st.IoDoneRecognitions)
+		for _, d := range sys.Dev.Devices() {
+			fmt.Printf("    %-8s requests         %8d, interrupts %d, queue high-water %d\n",
+				d.Name, d.Requests, d.Interrupts, d.QueueHighWater)
+		}
+		fmt.Printf("    nic tx/rx                 %8d / %d packets\n",
+			sys.Net.NIC.TxPackets, sys.Net.NIC.RxPackets)
+		fmt.Printf("    netmsg forwarded          %8d, delivered %d, inbox high-water %d\n",
+			sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
+		fmt.Printf("  kernel stacks: %.3f average in use, %d worst case\n",
+			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
 	}
 }

@@ -1,23 +1,52 @@
-// tracer prints the control-transfer trace of one steady-state fast RPC —
-// the running reproduction of the paper's Figure 2.
+// tracer prints the control-transfer trace of one fast kernel path: the
+// steady-state fast RPC of the paper's Figure 2, or the interrupt-driven
+// device_read the device subsystem adds.
+//
+// Usage:
+//
+//	tracer [-path rpc|device]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiments"
 )
 
+var path = flag.String("path", "rpc", "rpc or device")
+
 func main() {
-	fmt.Println("Figure 2: the calling half of the fast RPC path (one traced RPC)")
-	fmt.Println()
-	fmt.Println("  client calls mach_msg: enter kernel, copy in the request, find")
-	fmt.Println("  the server blocked in mach_msg_continue, hand the stack over,")
-	fmt.Println("  recognize the continuation, copy out, exit as the server — then")
-	fmt.Println("  the same again in the reply direction.")
-	fmt.Println()
-	fmt.Print(experiments.Figure2Trace())
-	fmt.Println()
-	fmt.Println("no queue-message, dequeue-message or context-switch steps appear:")
-	fmt.Println("the transfer runs entirely in the shared call context (§2.4).")
+	flag.Parse()
+	switch *path {
+	case "rpc":
+		fmt.Println("Figure 2: the calling half of the fast RPC path (one traced RPC)")
+		fmt.Println()
+		fmt.Println("  client calls mach_msg: enter kernel, copy in the request, find")
+		fmt.Println("  the server blocked in mach_msg_continue, hand the stack over,")
+		fmt.Println("  recognize the continuation, copy out, exit as the server — then")
+		fmt.Println("  the same again in the reply direction.")
+		fmt.Println()
+		fmt.Print(experiments.Figure2Trace())
+		fmt.Println()
+		fmt.Println("no queue-message, dequeue-message or context-switch steps appear:")
+		fmt.Println("the transfer runs entirely in the shared call context (§2.4).")
+	case "device":
+		fmt.Println("One interrupt-driven device_read (MK40, traced end to end)")
+		fmt.Println()
+		fmt.Println("  the reader blocks with device_read_continue and its stack is")
+		fmt.Println("  discarded; the transfer interrupt runs on whatever stack the")
+		fmt.Println("  processor is using (here: parked, so no thread's); the io_done")
+		fmt.Println("  thread hands its own stack to the reader and recognition of the")
+		fmt.Println("  device continuation finishes the read inline.")
+		fmt.Println()
+		fmt.Print(experiments.DeviceReadTrace())
+		fmt.Println()
+		fmt.Println("no stack is allocated anywhere on this path: the interrupt borrows")
+		fmt.Println("the current stack and the completion arrives by stack handoff.")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown path %q (want rpc or device)\n", *path)
+		os.Exit(2)
+	}
 }

@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+// TestRuns smoke-tests the example end to end: it must run to completion
+// without panicking on a current build.
+func TestRuns(t *testing.T) { main() }

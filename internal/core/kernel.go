@@ -139,6 +139,12 @@ type Kernel struct {
 	// exception substrate). It must end in a terminal operation.
 	HandleException func(e *Env, code int)
 
+	// OnHalt, when set, is called from Halt after the current thread
+	// enters StateHalted and before the processor moves on; the device/
+	// kern layer uses it to kick the reaper thread. The hook must not
+	// block or transfer control.
+	OnHalt func(t *Thread)
+
 	// UserTime accumulates simulated user-mode CPU time.
 	UserTime machine.Duration
 
@@ -728,6 +734,9 @@ func (k *Kernel) Halt(e *Env) {
 	t := e.Cur()
 	t.State = StateHalted
 	t.Cont = nil
+	if k.OnHalt != nil {
+		k.OnHalt(t)
+	}
 	newt := k.Sched.SelectThread(e.P)
 	if newt != nil {
 		k.noteSelected(e, newt)
@@ -943,7 +952,14 @@ func (k *Kernel) dispatchFresh(e *Env) {
 // other than background housekeeping ticks).
 func (k *Kernel) Step() bool { return k.step(false) }
 
-func (k *Kernel) step(withBackground bool) bool {
+// StepNoAdvance runs one dispatcher action that is possible at the
+// current simulated time — a due event or a processor step — without ever
+// advancing the clock to a future event. It returns false when this
+// machine can make no progress until time moves. Multi-machine drivers
+// (kern.Cluster) use it to interleave kernels that share a timeline: no
+// single machine may jump its clock forward while a peer still has work
+// at the present.
+func (k *Kernel) StepNoAdvance() bool {
 	if ev := k.Clock.PopDue(); ev != nil {
 		ev.Fire()
 		return true
@@ -961,6 +977,13 @@ func (k *Kernel) step(withBackground bool) bool {
 			k.invoke(p, act)
 			return true
 		}
+	}
+	return false
+}
+
+func (k *Kernel) step(withBackground bool) bool {
+	if k.StepNoAdvance() {
+		return true
 	}
 	// Every processor is parked. Jump to the next event if a real one is
 	// pending; with only housekeeping ticks left the system is quiescent
@@ -1000,4 +1023,59 @@ func (k *Kernel) LiveThreads() int {
 		}
 	}
 	return n
+}
+
+// ---------------------------------------------------------------------
+// Interrupts and thread reaping.
+// ---------------------------------------------------------------------
+
+// TakeInterrupt runs a device interrupt handler in interrupt context: on
+// the stack of whatever thread the chosen processor is running (or on the
+// processor's resident idle stack when it is parked), charging the
+// machine-dependent interrupt entry and exit costs. This is the paper's
+// per-processor-stack claim extended to its original motivation — an
+// interrupt never allocates a kernel stack, because the interrupted
+// thread's stack is, in effect, the processor's. The handler may wake
+// threads and queue work but must not block, transfer control, or touch
+// the stack pool; the zero-allocation invariant is asserted here.
+func (k *Kernel) TakeInterrupt(label string, handler func(*Env)) {
+	// Interrupts are delivered to the first busy processor (its current
+	// stack is borrowed); an idle machine takes them on processor 0.
+	p := k.Procs[0]
+	for _, q := range k.Procs {
+		if q.Cur != nil {
+			p = q
+			break
+		}
+	}
+	e := &Env{K: k, P: p}
+	before := k.Stacks.InUse()
+	k.Stats.Interrupts++
+	e.Charge(k.Costs.InterruptEntry)
+	e.Trace(stats.TraceInterrupt, label)
+	handler(e)
+	if k.Stacks.InUse() != before {
+		panic(fmt.Sprintf("core: interrupt handler %q changed the stack census (%d -> %d)",
+			label, before, k.Stacks.InUse()))
+	}
+	e.Charge(k.Costs.InterruptExit)
+}
+
+// ReapHalted removes halted threads from the registry and returns them;
+// the kern reaper thread calls this to drain dead threads. Halted threads
+// whose stack disposal has not happened yet (possible on a multiprocessor
+// between the halt and the successor's thread_dispatch) are left for the
+// next pass.
+func (k *Kernel) ReapHalted() []*Thread {
+	var reaped []*Thread
+	kept := k.Threads[:0]
+	for _, t := range k.Threads {
+		if t.State == StateHalted && t.Stack == nil {
+			reaped = append(reaped, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	k.Threads = kept
+	return reaped
 }

@@ -1,0 +1,322 @@
+// NIC pair and the in-kernel netmsg forwarding thread: the device
+// subsystem's network half. Two simulated machines are joined by
+// connecting their NICs; a send to a proxy port on one machine becomes a
+// packet on the wire, an rx interrupt on the other, a deferred completion
+// through the io_done thread, and finally a local ipc delivery by the
+// netmsg thread — Table 1's "internal threads" row earning its keep on a
+// cross-machine RPC.
+package dev
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// DefaultWireLatency is the one-way packet latency between two machines
+// (propagation plus serialization on a paper-era 10 Mbit Ethernet).
+const DefaultWireLatency = machine.Duration(400 * 1000) // 400 µs
+
+var (
+	// nicTxCost is the transmit path: build the packet header, program
+	// the DMA ring.
+	nicTxCost = machine.Cost{Instrs: 180, Loads: 50, Stores: 60}
+	// nicRxHandlerCost is the rx interrupt handler body: acknowledge the
+	// controller, take the packet off the ring.
+	nicRxHandlerCost = machine.Cost{Instrs: 110, Loads: 40, Stores: 20}
+	// netmsgDemuxCost is the netmsg thread's per-packet protocol work:
+	// checksum, port-name demultiplex, message reconstruction.
+	netmsgDemuxCost = machine.Cost{Instrs: 150, Loads: 60, Stores: 30}
+)
+
+// Packet is one message on the wire between two machines.
+type Packet struct {
+	// DstPort names the destination port in the receiving machine's
+	// netmsg registry.
+	DstPort string
+	// ReplyPort, when nonempty, names the port (in the sending machine's
+	// registry) that the receiver's reply should be forwarded to.
+	ReplyPort string
+
+	OpID uint32
+	Size int
+	Body any
+}
+
+// NIC is a network interface. Transmit puts packets on the wire to the
+// connected peer; arrival raises an rx interrupt on the peer's machine,
+// whose deferred completion hands the packet to the peer's netmsg thread.
+type NIC struct {
+	Name string
+	Sub  *Subsystem
+
+	// Wire is the one-way packet latency to the peer.
+	Wire machine.Duration
+
+	peer *NIC
+
+	// handler consumes received packets in io_done context; the netmsg
+	// thread installs itself here.
+	handler func(e *core.Env, pkt *Packet)
+
+	// Counters.
+	TxPackets  uint64
+	RxPackets  uint64
+	Interrupts uint64
+}
+
+// NewNIC registers a NIC on this machine.
+func (s *Subsystem) NewNIC(name string) *NIC {
+	return &NIC{Name: name, Sub: s, Wire: DefaultWireLatency}
+}
+
+// Connect joins two NICs (usually on different machines) with the given
+// wire latency (DefaultWireLatency if 0).
+func Connect(a, b *NIC, wire machine.Duration) {
+	if wire == 0 {
+		wire = DefaultWireLatency
+	}
+	a.peer, b.peer = b, a
+	a.Wire, b.Wire = wire, wire
+}
+
+// Peer returns the connected NIC, nil when unconnected.
+func (n *NIC) Peer() *NIC { return n.peer }
+
+// Transmit puts a packet on the wire in the sender's kernel context.
+// Arrival is scheduled on the peer machine's clock at an absolute time,
+// so two machines with independent clocks agree on when the wire
+// delivers. Non-terminal.
+func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
+	if n.peer == nil {
+		panic(fmt.Sprintf("dev: Transmit on unconnected NIC %q", n.Name))
+	}
+	e.Charge(nicTxCost.Plus(machine.CopyBytes(pkt.Size)))
+	n.TxPackets++
+	peer := n.peer
+	arrival := n.Sub.K.Clock.Now() + n.Wire
+	peer.Sub.K.Clock.Schedule(arrival, peer.Name+"-rx", func() { peer.receive(pkt) })
+}
+
+// receive is the packet arrival on the destination machine: an rx
+// interrupt on the current processor's stack, with delivery deferred to
+// the io_done thread (which will usually hand its stack straight to the
+// netmsg thread).
+func (n *NIC) receive(pkt *Packet) {
+	s := n.Sub
+	s.K.TakeInterrupt(n.Name+" rx", func(e *core.Env) {
+		e.Charge(nicRxHandlerCost)
+		s.noteHandlerWork(nicRxHandlerCost)
+		n.Interrupts++
+		n.RxPackets++
+		h := n.handler
+		if h == nil {
+			return // no netmsg thread: drop
+		}
+		s.PostCompletion(&Request{
+			Label: "nic-rx",
+			Bytes: pkt.Size,
+			Complete: func(e2 *core.Env) { h(e2, pkt) },
+		})
+	})
+}
+
+// Netmsg is the in-kernel network message server: a per-machine internal
+// kernel thread that forwards local sends to remote ports over the NIC
+// and delivers arriving packets into local ipc ports.
+type Netmsg struct {
+	Sub *Subsystem
+	X   *ipc.IPC
+	NIC *NIC
+
+	// Thread is the forwarding thread; cont is its work-loop continuation
+	// ("netmsg_continue").
+	Thread *core.Thread
+	cont   *core.Continuation
+
+	// exported maps wire names to local ports that remote machines may
+	// send to; exportedBy is the reverse map for reply-port auto-export.
+	exported   map[string]*ipc.Port
+	exportedBy map[*ipc.Port]string
+
+	// proxies are local stand-ins for remote ports: sending to one
+	// transmits a packet.
+	proxies map[string]*ipc.Port
+
+	inbox    []*Packet
+	replySeq int
+
+	// Counters.
+	Forwarded      uint64 // local sends put on the wire
+	Delivered      uint64 // arriving packets delivered to local ports
+	Dropped        uint64 // arriving packets with no registered port
+	InboxHighWater int
+}
+
+// NewNetmsg creates the netmsg thread for a machine and binds it to the
+// NIC (created blocked; packet arrivals wake it through the io_done
+// thread, most often by stack handoff).
+func NewNetmsg(s *Subsystem, x *ipc.IPC, nic *NIC) *Netmsg {
+	n := &Netmsg{
+		Sub:        s,
+		X:          x,
+		NIC:        nic,
+		exported:   make(map[string]*ipc.Port),
+		exportedBy: make(map[*ipc.Port]string),
+		proxies:    make(map[string]*ipc.Port),
+	}
+	n.cont = core.NewContinuation("netmsg_continue", n.loop)
+	var pm func(*core.Env)
+	if !s.K.UseContinuations {
+		pm = n.loop
+	}
+	n.Thread = s.K.NewThread(core.ThreadSpec{
+		Name:     "netmsg",
+		SpaceID:  0,
+		Internal: true,
+		Priority: 29,
+		Start:    n.cont,
+		StartPM:  pm,
+	})
+	nic.handler = n.takePacket
+	return n
+}
+
+// Cont returns the netmsg thread's work-loop continuation, for tests.
+func (n *Netmsg) Cont() *core.Continuation { return n.cont }
+
+// Export registers a local port under a wire name so remote machines can
+// send to it.
+func (n *Netmsg) Export(name string, p *ipc.Port) {
+	n.exported[name] = p
+	n.exportedBy[p] = name
+}
+
+// exportName returns (registering if needed) the wire name of a local
+// port, used to route replies back across the wire.
+func (n *Netmsg) exportName(p *ipc.Port) string {
+	if name, ok := n.exportedBy[p]; ok {
+		return name
+	}
+	n.replySeq++
+	name := fmt.Sprintf("reply-%d", n.replySeq)
+	n.Export(name, p)
+	return name
+}
+
+// ProxyFor returns a local port standing in for the named port on the
+// remote machine. Sending to it runs the netmsg forward path in the
+// sender's kernel context: the message becomes a packet, and the sender
+// proceeds directly into its receive phase (no local receiver, no queue).
+func (n *Netmsg) ProxyFor(remote string) *ipc.Port {
+	p := n.proxies[remote]
+	if p == nil {
+		p = n.X.NewPort("proxy:" + remote)
+		p.KernelSink = func(e *core.Env, msg *ipc.Message, opts *ipc.MsgOptions) {
+			n.forwardSink(e, remote, msg, opts)
+		}
+		n.proxies[remote] = p
+	}
+	return p
+}
+
+// forwardSink processes a send to a proxy port in the sender's kernel
+// context: transmit the packet, then continue the sender's mach_msg.
+// Terminal.
+func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts *ipc.MsgOptions) {
+	replyName := ""
+	if msg.Reply != nil {
+		replyName = n.exportName(msg.Reply)
+	}
+	n.Forwarded++
+	n.NIC.Transmit(e, &Packet{
+		DstPort:   remote,
+		ReplyPort: replyName,
+		OpID:      msg.OpID,
+		Size:      msg.Size,
+		Body:      msg.Body,
+	})
+	if opts.ReceiveFrom != nil {
+		n.X.Receive(e, opts.ReceiveFrom, opts.MaxSize)
+	}
+	n.Sub.K.ThreadSyscallReturn(e, ipc.MsgSuccess)
+}
+
+// takePacket runs in io_done context when an rx completion is processed:
+// queue the packet and wake the netmsg thread. The completion carries the
+// netmsg thread as its waiter, so in the continuation kernel the io_done
+// thread's stack is handed straight here and loop runs by recognition.
+func (n *Netmsg) takePacket(e *core.Env, pkt *Packet) {
+	n.inbox = append(n.inbox, pkt)
+	if len(n.inbox) > n.InboxHighWater {
+		n.InboxHighWater = len(n.inbox)
+	}
+	if n.Thread.State == core.StateWaiting {
+		n.Sub.K.Setrun(n.Thread)
+	}
+}
+
+// loop is the netmsg thread's work loop, §2.2 style: deliver every queued
+// packet, then block with this same continuation. Terminal.
+func (n *Netmsg) loop(e *core.Env) {
+	k := n.Sub.K
+	for len(n.inbox) > 0 {
+		pkt := n.inbox[0]
+		n.inbox = n.inbox[1:]
+		e.Charge(netmsgDemuxCost)
+		n.deliver(e, pkt)
+	}
+	t := e.Cur()
+	t.State = core.StateWaiting
+	t.WaitLabel = "netmsg: idle"
+	k.Block(e, stats.BlockInternal, n.cont,
+		func(e2 *core.Env) { n.loop(e2) }, 256, "netmsg-wait")
+}
+
+// deliver hands an arriving packet to its local port. When a receiver is
+// already waiting with mach_msg_continue, the netmsg thread hands its
+// stack straight over and recognition completes the receive inline — the
+// §2.3 fast path driven by an internal thread instead of a local sender.
+// May be terminal (handoff) or return (queued delivery).
+func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
+	k := n.Sub.K
+	port := n.exported[pkt.DstPort]
+	if port == nil || port.Dead() {
+		n.Dropped++
+		return
+	}
+	var reply *ipc.Port
+	if pkt.ReplyPort != "" {
+		reply = n.ProxyFor(pkt.ReplyPort)
+	}
+	msg := n.X.NewMessage(pkt.OpID, pkt.Size, pkt.Body, reply)
+	n.Delivered++
+	recv := n.X.PopWaiter(e, port)
+	if recv != nil && recv.Cont != nil && !recv.HasStack() && k.CanHandoff() {
+		n.X.DeliverTo(e, recv, msg)
+		t := e.Cur()
+		if len(n.inbox) > 0 {
+			t.State = core.StateRunnable
+		} else {
+			t.State = core.StateWaiting
+			t.WaitLabel = "netmsg: idle"
+		}
+		k.ThreadHandoff(e, stats.BlockInternal, n.cont, recv)
+		// Running as the receiver, in the netmsg thread's call context.
+		if k.Recognize(e, n.X.ContMsgContinue) {
+			m := n.X.TakeDelivered(e.Cur())
+			if m == nil {
+				panic("dev: netmsg delivery lost its message")
+			}
+			n.X.CompleteReceive(e, m)
+		}
+		k.CallContinuation(e, e.Cur().Cont)
+	}
+	n.X.Enqueue(e, port, msg)
+	if recv != nil {
+		k.Setrun(recv)
+	}
+}

@@ -1,0 +1,89 @@
+package kern
+
+import (
+	"repro/internal/machine"
+)
+
+// Cluster drives several booted systems (machines) whose clocks are
+// independent but whose NICs are cross-wired: a transmit on one machine
+// schedules an arrival on the peer's clock at an absolute time.
+//
+// The stepping rule keeps delivery deterministic: a machine's clock never
+// advances past "now" while any machine still has work at its present
+// time, and when every machine is idle the one with the earliest pending
+// event advances. This is a conservative two-clock discretization — no
+// machine can observe an event from the future of another.
+type Cluster struct {
+	Systems []*System
+}
+
+// NewCluster groups machines for lockstep driving.
+func NewCluster(systems ...*System) *Cluster {
+	return &Cluster{Systems: systems}
+}
+
+// Step makes progress on exactly one machine: first any machine with work
+// at its current time (earliest clock first, so the machine that is
+// "behind" catches up before peers run ahead), otherwise the machine with
+// the earliest pending event advances its clock and fires it. Returns
+// false when no machine can make progress.
+func (c *Cluster) Step(withBackground bool) bool {
+	// Work at the present, earliest clock first.
+	order := make([]*System, len(c.Systems))
+	copy(order, c.Systems)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].K.Clock.Now() < order[j-1].K.Clock.Now(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, s := range order {
+		if s.K.StepNoAdvance() {
+			return true
+		}
+	}
+	// Everyone is idle at the present: advance the earliest pending event.
+	var best *System
+	var bestAt machine.Time
+	for _, s := range order {
+		if !withBackground && !s.K.Clock.HasForeground() {
+			continue
+		}
+		at, ok := s.K.Clock.NextEventTime()
+		if !ok {
+			continue
+		}
+		if best == nil || at < bestAt {
+			best, bestAt = s, at
+		}
+	}
+	if best == nil {
+		return false
+	}
+	if ev := best.K.Clock.AdvanceToNextEvent(); ev != nil {
+		ev.Fire()
+		return true
+	}
+	return false
+}
+
+// Run steps the cluster until no machine can progress or every clock has
+// reached the deadline. Returns total steps taken.
+func (c *Cluster) Run(deadline machine.Time) uint64 {
+	var steps uint64
+	for {
+		past := true
+		for _, s := range c.Systems {
+			if s.K.Clock.Now() < deadline {
+				past = false
+				break
+			}
+		}
+		if past {
+			return steps
+		}
+		if !c.Step(false) {
+			return steps
+		}
+		steps++
+	}
+}

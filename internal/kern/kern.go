@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dev"
 	"repro/internal/exc"
 	"repro/internal/ipc"
 	"repro/internal/machine"
@@ -134,6 +135,16 @@ type Config struct {
 	// experiments that need an exact stack census.
 	DisableCallout bool
 
+	// DisableDaemons omits the device subsystem and its kernel threads
+	// (io-done, netmsg, reaper), for experiments that need an exact stack
+	// census or the bare pre-device kernel.
+	DisableDaemons bool
+
+	// LegacyFlatDisk boots the device subsystem but keeps VM paging on the
+	// flat-latency path (each page-in an independent timer) instead of the
+	// queued disk device, for regression comparison.
+	LegacyFlatDisk bool
+
 	// NoHandoff and NoRecognition disable individual continuation
 	// optimizations, for ablation benchmarks.
 	NoHandoff     bool
@@ -149,15 +160,29 @@ type System struct {
 	VM     *vm.VM
 	Exc    *exc.Exc
 
+	// Dev is the device subsystem; Disk its paging disk; Net the netmsg
+	// forwarding thread bound to this machine's NIC. All nil when
+	// DisableDaemons is set.
+	Dev  *dev.Subsystem
+	Disk *dev.Device
+	Net  *dev.Netmsg
+
 	// Callout is the special kernel thread that never blocks with a
 	// continuation (nil when disabled).
 	Callout *core.Thread
+
+	// Reaper is the kernel thread that reclaims dead threads' kernel
+	// state (nil when daemons are disabled).
+	Reaper     *core.Thread
+	contReaper *core.Continuation
 
 	tasks     []*Task
 	nextSpace int
 
 	// CalloutTicks counts bookkeeping passes of the callout thread.
 	CalloutTicks uint64
+	// Reaped counts threads whose kernel state the reaper reclaimed.
+	Reaped uint64
 	// AllocWaits and LockWaits count the process-model waits the
 	// workloads induce (Table 1's bottom row, with kernel faults).
 	AllocWaits uint64
@@ -191,13 +216,76 @@ func New(cfg Config) *System {
 		K:      k,
 		Sched:  rq,
 	}
-	s.VM = vm.New(k, vm.Config{Frames: cfg.Frames, DiskLatency: cfg.DiskLatency})
+	if !cfg.DisableDaemons {
+		lat := cfg.DiskLatency
+		if lat == 0 {
+			lat = vm.DefaultDiskLatency
+		}
+		s.Dev = dev.NewSubsystem(k)
+		s.Disk = s.Dev.NewDevice("disk", lat)
+	}
+	vmDisk := s.Disk
+	if cfg.LegacyFlatDisk {
+		vmDisk = nil
+	}
+	s.VM = vm.New(k, vm.Config{Frames: cfg.Frames, DiskLatency: cfg.DiskLatency, Disk: vmDisk})
 	s.IPC = ipc.New(k, cfg.Flavor.IPCStyle())
 	s.Exc = exc.New(k, s.IPC)
+	if s.Dev != nil {
+		s.Dev.AttachPorts(s.IPC)
+		nic := s.Dev.NewNIC("ne0")
+		s.Net = dev.NewNetmsg(s.Dev, s.IPC, nic)
+	}
 	if !cfg.DisableCallout {
 		s.startCallout()
 	}
+	if !cfg.DisableDaemons {
+		s.startReaper()
+	}
 	return s
+}
+
+// startReaper creates the kernel thread that reclaims the kernel state of
+// halted threads (DESIGN §3.4's "reaper"). It blocks with a continuation,
+// so in MK40 it holds no stack while idle; thread_halt kicks it through
+// the kernel's OnHalt hook.
+func (s *System) startReaper() {
+	s.contReaper = core.NewContinuation("reaper_continue", s.reaperLoop)
+	var pm func(*core.Env)
+	if !s.K.UseContinuations {
+		pm = s.reaperLoop
+	}
+	s.Reaper = s.K.NewThread(core.ThreadSpec{
+		Name:     "reaper",
+		SpaceID:  0,
+		Internal: true,
+		Priority: 28,
+		Start:    s.contReaper,
+		StartPM:  pm,
+	})
+	s.K.OnHalt = func(t *core.Thread) {
+		if s.Reaper.State == core.StateWaiting {
+			s.K.Setrun(s.Reaper)
+		}
+	}
+}
+
+// reapCost is the per-thread teardown work: unlink from the task, free
+// the machine-dependent save area, return thread structure memory.
+var reapCost = machine.Cost{Instrs: 220, Loads: 70, Stores: 45}
+
+// reaperLoop drains dead threads, then blocks with its own continuation
+// (§2.2 style). Terminal.
+func (s *System) reaperLoop(e *core.Env) {
+	for range s.K.ReapHalted() {
+		e.Charge(reapCost)
+		s.Reaped++
+	}
+	t := e.Cur()
+	t.State = core.StateWaiting
+	t.WaitLabel = "reaper: idle"
+	s.K.Block(e, stats.BlockInternal, s.contReaper,
+		func(e2 *core.Env) { s.reaperLoop(e2) }, 256, "reaper-wait")
 }
 
 // startCallout creates the kernel thread whose flow of control makes a

@@ -146,10 +146,11 @@ func TestMK40SteadyStateStackCensus(t *testing.T) {
 func TestMK32StacksArePerThread(t *testing.T) {
 	sys, _ := bootRPCPair(t, kern.MK32, 50, false)
 	sys.Run(0)
-	// Client halted (stack freed at reap); server + callout + pageout
-	// daemon each hold a dedicated stack.
-	if got := sys.K.Stacks.InUse(); got != 3 {
-		t.Fatalf("stacks in use = %d, want 3 (server, callout, pageout)", got)
+	// Client halted (stack freed at reap); every live kernel thread holds
+	// a dedicated stack under the process model: server, callout, pageout,
+	// io-done, netmsg and reaper.
+	if got := sys.K.Stacks.InUse(); got != 6 {
+		t.Fatalf("stacks in use = %d, want 6 (server + 5 kernel threads)", got)
 	}
 }
 

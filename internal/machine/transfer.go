@@ -21,6 +21,14 @@ type TransferCosts struct {
 	ExceptionEntry Cost
 	ExceptionExit  Cost
 
+	// InterruptEntry and InterruptExit bracket a device interrupt taken on
+	// the current processor's stack. The handler borrows whatever stack the
+	// processor is using, so entry saves only the caller-saved registers
+	// plus the trap frame and exit restores them; no stack is ever
+	// allocated on this path.
+	InterruptEntry Cost
+	InterruptExit  Cost
+
 	// StackHandoff moves the current kernel stack from the current thread
 	// to a new thread without saving or restoring the register file.
 	StackHandoff Cost
@@ -92,6 +100,13 @@ func TransferCostsFor(m *CostModel, continuations bool) TransferCosts {
 	extraRegs := uint64(m.UserRegs - m.CalleeSavedRegs)
 	t.ExceptionEntry = t.SyscallEntry.Plus(Cost{Instrs: 2 * extraRegs, Stores: extraRegs})
 	t.ExceptionExit = t.SyscallExit.Plus(Cost{Instrs: 2 * extraRegs, Loads: extraRegs})
+
+	// A device interrupt saves only the caller-saved registers (the
+	// interrupted context keeps its callee-saved set live in the register
+	// file) plus a short vector-dispatch prologue, and runs on the current
+	// stack in both kernel styles.
+	t.InterruptEntry = Cost{Instrs: 24 + 2*extraRegs, Loads: 4, Stores: extraRegs}
+	t.InterruptExit = Cost{Instrs: 18 + 2*extraRegs, Loads: extraRegs, Stores: 2}
 
 	// Attach writes a synthetic frame (saved s-regs slot, return address,
 	// argument) onto a fresh stack; detach unlinks and re-queues it.

@@ -36,6 +36,9 @@ const (
 	// BlockLock is a wait for a contended kernel lock (process model
 	// only).
 	BlockLock
+	// BlockDeviceIO is a thread waiting in device_read/device_write for a
+	// device request to complete (the io_done path).
+	BlockDeviceIO
 	numBlockReasons
 )
 
@@ -62,6 +65,8 @@ func (r BlockReason) String() string {
 		return "kernel alloc"
 	case BlockLock:
 		return "lock wait"
+	case BlockDeviceIO:
+		return "device io"
 	default:
 		return fmt.Sprintf("BlockReason(%d)", int(r))
 	}
@@ -73,6 +78,7 @@ func (r BlockReason) String() string {
 var DiscardReasons = []BlockReason{
 	BlockReceive, BlockException, BlockPageFault,
 	BlockThreadSwitch, BlockPreempt, BlockInternal,
+	BlockDeviceIO,
 }
 
 // Kernel aggregates control-transfer statistics for one kernel run.
@@ -103,6 +109,15 @@ type Kernel struct {
 
 	// StackAttaches counts stacks initialized for stackless threads.
 	StackAttaches uint64
+
+	// Interrupts counts device interrupts taken on a processor's current
+	// stack (never on a stack of their own).
+	Interrupts uint64
+
+	// IoDoneRecognitions counts io_done completions where the internal
+	// I/O thread recognized the waiter's device continuation and finished
+	// the request inline, without a general continuation call.
+	IoDoneRecognitions uint64
 }
 
 // RecordBlock tallies one blocking operation.
@@ -164,6 +179,9 @@ const (
 	TraceDequeueMessage
 	TraceSchedule
 	TraceNote
+	// TraceInterrupt marks a device interrupt handled in interrupt context
+	// on the named thread's (i.e. the current processor's) stack.
+	TraceInterrupt
 )
 
 func (k TraceKind) String() string {
@@ -198,6 +216,8 @@ func (k TraceKind) String() string {
 		return "schedule"
 	case TraceNote:
 		return "note"
+	case TraceInterrupt:
+		return "interrupt"
 	default:
 		return fmt.Sprintf("TraceKind(%d)", int(k))
 	}

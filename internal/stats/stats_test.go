@@ -57,9 +57,13 @@ func TestBlockReasonStrings(t *testing.T) {
 }
 
 func TestDiscardReasonsMatchPaperRows(t *testing.T) {
+	// The paper's six Table 1 discard rows, plus the device-I/O row the
+	// device subsystem extension adds (device_read/device_write block with
+	// a continuation exactly like a receive).
 	want := []BlockReason{
 		BlockReceive, BlockException, BlockPageFault,
 		BlockThreadSwitch, BlockPreempt, BlockInternal,
+		BlockDeviceIO,
 	}
 	if len(DiscardReasons) != len(want) {
 		t.Fatalf("DiscardReasons has %d rows", len(DiscardReasons))

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dev"
 	"repro/internal/machine"
 	"repro/internal/stats"
 )
@@ -77,6 +78,14 @@ type VM struct {
 	// DiskLatency is the simulated page-in/page-out time.
 	DiskLatency machine.Duration
 
+	// Disk, when set, is the paging disk in the device subsystem: page-ins
+	// become queued device requests completed by a disk interrupt and the
+	// io_done thread, so concurrent faulters contend for the one spindle.
+	// When nil the legacy flat-latency path is used (each page-in is an
+	// independent timer), preserving the pre-device behavior for
+	// comparison.
+	Disk *dev.Device
+
 	// LowWater and HighWater bound the pageout daemon: it wakes below
 	// LowWater free frames and evicts until HighWater are free.
 	LowWater  int
@@ -122,6 +131,9 @@ type Config struct {
 	Frames int
 	// DiskLatency overrides DefaultDiskLatency when nonzero.
 	DiskLatency machine.Duration
+	// Disk routes page-ins and page-outs through a device-subsystem disk
+	// (see VM.Disk); nil keeps the legacy flat-latency path.
+	Disk *dev.Device
 }
 
 // New creates the VM subsystem, installs its fault handler on the kernel,
@@ -141,6 +153,7 @@ func New(k *core.Kernel, cfg Config) *VM {
 		TotalFrames: frames,
 		FreeFrames:  frames,
 		DiskLatency: lat,
+		Disk:        cfg.Disk,
 		LowWater:    frames / 16,
 		HighWater:   frames / 8,
 		spaces:      make(map[int]*Space),
@@ -245,13 +258,34 @@ func (v *VM) fault(e *core.Env, addr uint64, write bool) {
 	}
 	v.DiskFaults++
 	sp := v.SpaceOf(t)
-	v.K.Clock.After(v.DiskLatency, "page-in", func() {
-		// Disk interrupt: the page is in memory; map it and wake the
-		// faulter. Mapping cost is charged in the faulter's continuation.
-		sp.resident[page] = &pageEntry{}
-		v.fifo = append(v.fifo, pageRef{space: sp, page: page})
-		v.K.Setrun(t)
-	})
+	if v.Disk != nil {
+		// Queue the read on the paging disk. The request completes in a
+		// disk interrupt; the io_done thread maps the page and (in the
+		// continuation kernel) hands its stack straight to the faulter,
+		// recognizing vm_fault_continue. Concurrent faulters queue behind
+		// each other on the one device — a pager storm sees the spindle.
+		v.Disk.Submit(&dev.Request{
+			Label:   "page-in",
+			Bytes:   PageSize,
+			Latency: v.DiskLatency,
+			Complete: func(e2 *core.Env) {
+				sp.resident[page] = &pageEntry{}
+				v.fifo = append(v.fifo, pageRef{space: sp, page: page})
+			},
+			Waiter: t,
+			Expect: v.ContFaultContinue,
+			Inline: func(e2 *core.Env) { v.faultContinue(e2) },
+		})
+	} else {
+		v.K.Clock.After(v.DiskLatency, "page-in", func() {
+			// Disk interrupt: the page is in memory; map it and wake the
+			// faulter. Mapping cost is charged in the faulter's
+			// continuation.
+			sp.resident[page] = &pageEntry{}
+			v.fifo = append(v.fifo, pageRef{space: sp, page: page})
+			v.K.Setrun(t)
+		})
+	}
 	t.Scratch.PutWord(0, uint32(page))
 	t.Scratch.PutWord(1, wflag)
 	t.State = core.StateWaiting
@@ -320,6 +354,16 @@ func (v *VM) pageoutLoop(e *core.Env) {
 		delete(ref.space.resident, ref.page)
 		e.Charge(evictCost)
 		v.Evictions++
+		if v.Disk != nil {
+			// Write the dirty page behind the eviction: fire-and-forget —
+			// the daemon does not wait, but the write occupies the spindle
+			// and queues against concurrent page-ins.
+			v.Disk.Submit(&dev.Request{
+				Label:   "page-out",
+				Bytes:   PageSize,
+				Latency: v.DiskLatency,
+			})
+		}
 		if entry.shared != nil {
 			// Unmapping one copy-on-write mapping frees the frame only
 			// when the last mapper goes.

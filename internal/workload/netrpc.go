@@ -1,0 +1,195 @@
+// NetRPC is the cross-machine workload: two simulated machines joined by
+// a NIC pair, a client on machine A issuing RPCs to an echo server on
+// machine B through the in-kernel netmsg forwarding threads, and a
+// user-level disk reader on each machine keeping the paging disk's
+// request queue busy with device_read calls. Every continuation mechanism
+// the device subsystem adds shows up here: device-I/O blocks that discard
+// stacks, interrupts taken on the current stack, io_done handoffs and
+// recognitions, and netmsg deliveries that hand off straight into a
+// waiting receiver's mach_msg_continue.
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+)
+
+// NetRPCSpec sizes the cross-machine workload.
+type NetRPCSpec struct {
+	// RPCs is how many echo round trips the client completes.
+	RPCs int
+	// MsgBytes is the request/reply payload size.
+	MsgBytes int
+	// Wire is the one-way NIC latency (dev.DefaultWireLatency if 0).
+	Wire machine.Duration
+	// DiskReads is how many device_read calls each machine's disk reader
+	// issues (0 disables the readers); DiskReadBytes the transfer size.
+	DiskReads     int
+	DiskReadBytes int
+	// DiskLatency overrides the paging disk service time when nonzero.
+	DiskLatency machine.Duration
+}
+
+// DefaultNetRPC returns the standard two-machine echo workload.
+func DefaultNetRPC() NetRPCSpec {
+	return NetRPCSpec{
+		RPCs:          50,
+		MsgBytes:      256,
+		DiskReads:     30,
+		DiskReadBytes: 4096,
+		// A fast disk keeps the readers and the RPC stream interleaved on
+		// the same timescale.
+		DiskLatency: machine.Duration(2 * 1000 * 1000), // 2 ms
+	}
+}
+
+// NetRPCResult reports one cross-machine run.
+type NetRPCResult struct {
+	// Client and Server are the two booted machines, A and B.
+	Client *kern.System
+	Server *kern.System
+
+	// Completed is the echo round trips finished; DiskReadsDone the
+	// device_read calls completed on each machine (client, server order).
+	Completed     int
+	DiskReadsDone [2]int
+
+	// Elapsed is the client machine's simulated time for the whole run.
+	Elapsed machine.Duration
+
+	// Steps is the total cluster dispatcher steps taken.
+	Steps uint64
+}
+
+// netEchoServer answers echo RPCs arriving through the netmsg thread.
+type netEchoServer struct {
+	sys     *kern.System
+	port    *ipc.Port
+	pending *ipc.Message
+	handled int
+}
+
+func (s *netEchoServer) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := s.sys.IPC.Received(t); m != nil {
+		s.pending = m
+	}
+	if s.pending == nil {
+		return core.Syscall("mach_msg(receive)", func(e *core.Env) {
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
+		})
+	}
+	req := s.pending
+	s.pending = nil
+	s.handled++
+	return core.Syscall("mach_msg(reply+receive)", func(e *core.Env) {
+		// req.Reply is a netmsg proxy: this send becomes a packet home.
+		reply := s.sys.IPC.NewMessage(req.OpID|0x8000, req.Size, req.Body, nil)
+		s.sys.IPC.MachMsg(e, ipc.MsgOptions{
+			Send: reply, SendTo: req.Reply, ReceiveFrom: s.port,
+		})
+	})
+}
+
+// netClient issues echo RPCs to the remote machine via a proxy port.
+type netClient struct {
+	sys   *kern.System
+	proxy *ipc.Port
+	reply *ipc.Port
+	bytes int
+	rpcs  int
+	done  int
+}
+
+func (c *netClient) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := c.sys.IPC.Received(t); m != nil {
+		c.done++
+	}
+	if c.done >= c.rpcs {
+		return core.Exit()
+	}
+	return core.Syscall("mach_msg(net-rpc)", func(e *core.Env) {
+		req := c.sys.IPC.NewMessage(1, c.bytes, nil, c.reply)
+		c.sys.IPC.MachMsg(e, ipc.MsgOptions{
+			Send: req, SendTo: c.proxy, ReceiveFrom: c.reply,
+		})
+	})
+}
+
+// diskReader issues back-to-back device_read calls against the paging
+// disk, so BlockDeviceIO rows (and queueing against VM page traffic)
+// come from a real user thread.
+type diskReader struct {
+	sys   *kern.System
+	disk  *dev.Device
+	bytes int
+	reads int
+	done  int
+}
+
+func (r *diskReader) Next(e *core.Env, t *core.Thread) core.Action {
+	if r.done >= r.reads {
+		return core.Exit()
+	}
+	r.done++
+	return core.Syscall("device_read", func(e *core.Env) {
+		d := r.sys.Dev.Open(e, r.disk.Name)
+		r.sys.Dev.DeviceRead(e, d, r.bytes)
+	})
+}
+
+// RunNetRPC boots two machines, wires their NICs together, and drives the
+// cluster until the client has completed its RPCs and both disk readers
+// have drained (or no machine can progress). Fully deterministic.
+func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCResult {
+	cfg := kern.Config{Flavor: flavor, Arch: arch, DiskLatency: spec.DiskLatency}
+	a := kern.New(cfg)
+	b := kern.New(cfg)
+	dev.Connect(a.Net.NIC, b.Net.NIC, spec.Wire)
+
+	// Echo server on machine B, reachable from the wire as "echo".
+	st := b.NewTask("echo-server")
+	sport := b.IPC.NewPort("echo")
+	b.Net.Export("echo", sport)
+	srv := &netEchoServer{sys: b, port: sport}
+	b.Start(st.NewThread("srv", srv, 20))
+
+	// Client on machine A, talking to B through a proxy port. Its reply
+	// port is exported automatically on the first forwarded send.
+	ct := a.NewTask("net-client")
+	reply := a.IPC.NewPort("echo-reply")
+	msgBytes := spec.MsgBytes
+	if msgBytes < ipc.HeaderBytes {
+		msgBytes = ipc.HeaderBytes
+	}
+	cli := &netClient{sys: a, proxy: a.Net.ProxyFor("echo"), reply: reply,
+		bytes: msgBytes, rpcs: spec.RPCs}
+	a.Start(ct.NewThread("cli", cli, 10))
+
+	// One disk reader per machine.
+	var readers []*diskReader
+	if spec.DiskReads > 0 {
+		for _, sys := range []*kern.System{a, b} {
+			task := sys.NewTask("disk-reader")
+			rd := &diskReader{sys: sys, disk: sys.Disk,
+				bytes: spec.DiskReadBytes, reads: spec.DiskReads}
+			readers = append(readers, rd)
+			sys.Start(task.NewThread("rd", rd, 12))
+		}
+	}
+
+	cluster := kern.NewCluster(a, b)
+	res := &NetRPCResult{Client: a, Server: b}
+	start := a.K.Clock.Now()
+	for cluster.Step(false) {
+		res.Steps++
+	}
+	res.Completed = cli.done
+	for i, rd := range readers {
+		res.DiskReadsDone[i] = rd.done
+	}
+	res.Elapsed = machine.Duration(a.K.Clock.Now() - start)
+	return res
+}

@@ -36,7 +36,7 @@ func Example() {
 		st.Handoffs, st.Recognitions, st.StacksMax)
 	// Output:
 	// reply: hello
-	// handoffs=3 recognitions=2 max stacks=1
+	// handoffs=4 recognitions=2 max stacks=1
 }
 
 // ExampleSystem_ShareCopyOnWrite maps pages between tasks copy-on-write
