@@ -6,10 +6,18 @@
 //
 //	machsim [-workload compile|build|dos|netrpc] [-flavor mk40|mk32|mach25]
 //	        [-arch ds3100|toshiba] [-scale f] [-seed n] [-v]
+//	        [-faults seed:spec] [-check]
 //
 // The netrpc workload boots two machines joined by a NIC pair and runs
 // cross-machine echo RPCs through the in-kernel netmsg threads, printing
 // per-machine block tables plus the device subsystem's counters.
+//
+// -faults installs a seeded deterministic fault plan, e.g.
+// "42:drop=0.1,devfail=0.05,devslow=0.1:2ms"; wire faults switch the
+// netmsg threads to the reliable seq/ack protocol. -check runs the
+// kernel invariant sweep after every dispatch. The same -faults argument
+// always produces byte-identical output — the CI determinism smoke
+// diffs two such runs.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -30,6 +39,8 @@ var (
 	scale        = flag.Float64("scale", 0.25, "fraction of the paper's duration to simulate")
 	seed         = flag.Uint64("seed", 12345, "workload random seed")
 	verbose      = flag.Bool("v", false, "also print per-component detail")
+	faultsFlag   = flag.String("faults", "", "seed:spec fault plan, e.g. 42:drop=0.1,devfail=0.05")
+	check        = flag.Bool("check", false, "run the kernel invariant sweep after every dispatch")
 )
 
 func main() {
@@ -59,8 +70,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var faultSeed uint64
+	var faultSpec fault.Spec
+	if *faultsFlag != "" {
+		var err error
+		faultSeed, faultSpec, err = fault.ParseFlag(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	if *workloadName == "netrpc" {
-		runNetRPC(flavor, arch)
+		runNetRPC(flavor, arch, faultSeed, faultSpec)
 		return
 	}
 
@@ -77,7 +99,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, inst := workload.Run(flavor, arch, spec.Scale(*scale), *seed)
+	wspec := spec.Scale(*scale)
+	sys := workload.NewSystem(flavor, arch, wspec)
+	sys.K.DebugChecks = *check
+	sys.InjectFaults(faultSeed, faultSpec)
+	inst := workload.Install(sys, wspec, *seed)
+	inst.Run()
 	st := sys.K.Stats
 	total := st.TotalBlocks()
 
@@ -104,6 +131,8 @@ func main() {
 	fmt.Printf("per-thread kernel memory now: %.0f bytes (static %v: %d bytes)\n",
 		sys.MeasuredPerThreadBytes(), flavor, flavor.StaticThreadSpace().Total())
 
+	printFaultReport(sys)
+
 	if *verbose {
 		fmt.Printf("\ndetail:\n")
 		fmt.Printf("  context switches      %12d\n", st.ContextSwitches)
@@ -127,10 +156,37 @@ func main() {
 	}
 }
 
+// printFaultReport prints the fault-injection and recovery counters when
+// a fault plan or the invariant checker is active.
+func printFaultReport(sys *kern.System) {
+	fs := sys.FaultStats()
+	if !*check && *faultsFlag == "" {
+		return
+	}
+	fmt.Printf("\nfaults & recovery:\n")
+	fmt.Printf("  injected: %s\n", fs)
+	fmt.Printf("  dev: timeouts %d, retries %d, failures surfaced %d\n",
+		sys.Dev.IoTimeouts, sys.Dev.IoRetries, sys.Dev.IoFailures)
+	if sys.Net != nil {
+		fmt.Printf("  net: retransmits %d, acks rx %d, dups dropped %d, lost %d, unacked %d\n",
+			sys.Net.Retransmits, sys.Net.AcksRx, sys.Net.DupsDropped,
+			sys.Net.Lost, sys.Net.UnackedLen())
+	}
+	fmt.Printf("  aborts: %d; invariant sweeps passed: %d\n",
+		sys.Aborted, sys.K.Stats.InvariantPasses)
+	if *check {
+		sys.K.MustValidate()
+		fmt.Printf("  final invariant check: clean\n")
+	}
+}
+
 // runNetRPC drives the two-machine echo workload and prints per-machine
 // block tables plus the device subsystem counters.
-func runNetRPC(flavor kern.Flavor, arch machine.Arch) {
+func runNetRPC(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fault.Spec) {
 	spec := workload.DefaultNetRPC()
+	spec.FaultSeed = faultSeed
+	spec.FaultSpec = faultSpec
+	spec.DebugChecks = *check
 	res := workload.RunNetRPC(flavor, arch, spec)
 
 	fmt.Printf("NetRPC on %v/%v — %d cross-machine RPCs completed in %.2f simulated ms (%d cluster steps)\n",
@@ -172,5 +228,6 @@ func runNetRPC(flavor kern.Flavor, arch machine.Arch) {
 			sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
 		fmt.Printf("  kernel stacks: %.3f average in use, %d worst case\n",
 			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
+		printFaultReport(sys)
 	}
 }

@@ -82,8 +82,14 @@ func printTable1(results []experiments.Table1Result) {
 		fmt.Printf("  %-18s %10s %8s %8s\n", "", "blocks", "%", "paper %")
 		for i, r := range stats.DiscardReasons {
 			n := res.Blocks[r]
-			fmt.Printf("  %-18s %10d %7.1f%% %7.1f%%\n",
-				r, n, stats.Percent(n, res.TotalBlocks), paper[i])
+			// Rows past the paper's six (device io, from our device
+			// subsystem extension) have no published column.
+			paperCol := "      —"
+			if i < len(paper) {
+				paperCol = fmt.Sprintf("%7.1f%%", paper[i])
+			}
+			fmt.Printf("  %-18s %10d %7.1f%% %s\n",
+				r, n, stats.Percent(n, res.TotalBlocks), paperCol)
 		}
 		fmt.Printf("  %-18s %10d %7.1f%% %7.1f%%\n", "no stack discards",
 			res.NoDiscards, stats.Percent(res.NoDiscards, res.TotalBlocks), paperND)

@@ -95,6 +95,14 @@ func (k *Kernel) Validate() error {
 	if got := k.Stacks.InUse(); got != attached {
 		return fmt.Errorf("stack pool reports %d in use, %d attached to threads", got, attached)
 	}
+
+	// Substrate-registered checks: port waiter/sendWaiter consistency,
+	// device queue consistency, callout hygiene.
+	for _, check := range k.Invariants {
+		if err := check(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -103,4 +111,19 @@ func (k *Kernel) MustValidate() {
 	if err := k.Validate(); err != nil {
 		panic(fmt.Sprintf("core: invariant violated: %v", err))
 	}
+}
+
+// PostDispatchCheck runs the full invariant sweep when DebugChecks is
+// enabled. The dispatcher calls it after every step — the only points
+// where the machine is guaranteed consistent — so a corrupted waiter
+// list or leaked callout is caught at the step that created it, not at
+// some arbitrarily later failure.
+func (k *Kernel) PostDispatchCheck() {
+	if !k.DebugChecks {
+		return
+	}
+	if err := k.Validate(); err != nil {
+		panic(fmt.Sprintf("core: post-dispatch invariant violated: %v", err))
+	}
+	k.Stats.InvariantPasses++
 }

@@ -127,6 +127,16 @@ type Kernel struct {
 	NoHandoff     bool
 	NoRecognition bool
 
+	// DebugChecks, when set, runs the full invariant sweep (Validate plus
+	// every registered Invariants func) after each dispatcher step,
+	// panicking on the first violation. It may be toggled at any time.
+	DebugChecks bool
+
+	// Invariants holds extra structural checks registered by substrates
+	// (ipc waiter consistency, dev queue consistency); each returns the
+	// first violation found or nil. Run by Validate.
+	Invariants []func() error
+
 	// Threads is the registry of all created threads, live and halted.
 	Threads []*Thread
 
@@ -962,6 +972,7 @@ func (k *Kernel) Step() bool { return k.step(false) }
 func (k *Kernel) StepNoAdvance() bool {
 	if ev := k.Clock.PopDue(); ev != nil {
 		ev.Fire()
+		k.PostDispatchCheck()
 		return true
 	}
 	n := len(k.Procs)
@@ -975,6 +986,7 @@ func (k *Kernel) StepNoAdvance() bool {
 			act := p.pending
 			p.pending = nil
 			k.invoke(p, act)
+			k.PostDispatchCheck()
 			return true
 		}
 	}
@@ -991,6 +1003,7 @@ func (k *Kernel) step(withBackground bool) bool {
 	if withBackground || k.Clock.HasForeground() {
 		if ev := k.Clock.AdvanceToNextEvent(); ev != nil {
 			ev.Fire()
+			k.PostDispatchCheck()
 			return true
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ipc"
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -66,6 +67,20 @@ type Request struct {
 	Waiter *core.Thread
 	Expect *core.Continuation
 	Inline func(e *core.Env)
+
+	// Err is the completion status: zero for success, or a Dev* code. The
+	// io_done thread posts it to the waiter before resuming it.
+	Err uint64
+
+	// CanFail marks requests eligible for fault injection: user
+	// device_read/device_write calls, whose callers see error codes and
+	// retry. Kernel-internal requests (vm page-in/page-out) leave it
+	// false — injecting there would be silently treated as success.
+	CanFail bool
+
+	// timeout is the armed I/O timeout (user I/O only); the completion
+	// interrupt cancels it.
+	timeout *machine.Event
 }
 
 // Device is one device: a request queue in front of a single server with
@@ -116,12 +131,14 @@ func (d *Device) Submit(r *Request) {
 }
 
 // start begins service on the next queued request; the completion arrives
-// as a clock event that takes an interrupt.
+// as a clock event that takes an interrupt. The fault plan may stretch
+// the service time (a latency spike).
 func (d *Device) start() {
 	r := d.queue[0]
 	d.queue = d.queue[1:]
 	d.inflight = r
-	d.Sub.K.Clock.After(r.Latency, d.Name+"-io", func() { d.complete(r) })
+	latency := r.Latency + d.Sub.injectLatency(d, r)
+	d.Sub.K.Clock.After(latency, d.Name+"-io", func() { d.complete(r) })
 }
 
 // complete is the device raising its interrupt: the handler runs in
@@ -135,6 +152,13 @@ func (d *Device) complete(r *Request) {
 		s.noteHandlerWork(intrHandlerCost)
 		d.Interrupts++
 		d.inflight = nil
+		// Completion beat the I/O timeout: disarm it here, in the
+		// interrupt handler, so a timeout scheduled for this same tick
+		// (but sequenced later) is cleanly cancelled.
+		if r.timeout != nil {
+			s.K.Clock.Cancel(r.timeout)
+		}
+		s.injectCompletion(d, r)
 		if len(d.queue) > 0 {
 			d.start()
 		}
@@ -173,12 +197,44 @@ type Subsystem struct {
 	// Reads and Writes count device_read/device_write calls.
 	Reads  uint64
 	Writes uint64
+
+	// Fault is the installed fault plan (nil injects nothing).
+	Fault *fault.Plan
+
+	// IoTimeout, when nonzero, bounds each user I/O request from submit
+	// to completion; expiry returns DevTimedOut (after retries).
+	// IoMaxRetries and IoRetryBackoff shape the bounded retry: attempt n
+	// parks for IoRetryBackoff << (n-1) before resubmitting.
+	IoTimeout      machine.Duration
+	IoMaxRetries   int
+	IoRetryBackoff machine.Duration
+
+	// ioErr posts a request's completion error to its waiter, keyed by
+	// thread ID, consumed by the device continuations.
+	ioErr map[int]uint64
+
+	// pendingRetry tracks each thread's armed backoff callout so abort
+	// can cancel it.
+	pendingRetry map[int]*machine.Event
+
+	// Recovery counters.
+	IoTimeouts uint64 // I/O timeouts expired
+	IoRetries  uint64 // requests resubmitted after a failure or timeout
+	IoFailures uint64 // injected request failures
 }
 
 // NewSubsystem creates the device layer and its io_done thread (created
 // blocked; it wakes when the first completion is posted).
 func NewSubsystem(k *core.Kernel) *Subsystem {
-	s := &Subsystem{K: k, byName: make(map[string]*Device)}
+	s := &Subsystem{
+		K:              k,
+		byName:         make(map[string]*Device),
+		ioErr:          make(map[int]uint64),
+		pendingRetry:   make(map[int]*machine.Event),
+		IoMaxRetries:   3,
+		IoRetryBackoff: machine.Duration(500 * 1000), // 500 µs
+	}
+	k.Invariants = append(k.Invariants, s.checkInvariants)
 	s.ContIoDone = core.NewContinuation("io_done_continue", s.ioLoop)
 	s.ContDeviceRead = core.NewContinuation("device_read_continue", s.deviceReadContinue)
 	s.ContDeviceWrite = core.NewContinuation("device_write_continue", s.deviceWriteContinue)
@@ -267,7 +323,14 @@ func (s *Subsystem) ioLoop(e *core.Env) {
 		}
 		w := r.Waiter
 		if w == nil {
+			// Orphaned completion: the waiter timed out or was aborted
+			// while the transfer was in flight.
 			continue
+		}
+		if r.Err != 0 {
+			// Post the failure; the waiter's device continuation sees it
+			// and retries or returns the error.
+			s.ioErr[w.ID] = r.Err
 		}
 		if k.CanHandoff() && r.Expect != nil && w.BlockedWith(r.Expect) && !w.HasStack() {
 			t := e.Cur()
@@ -309,13 +372,10 @@ func (s *Subsystem) DeviceRead(e *core.Env, d *Device, bytes int) {
 	e.Charge(devCallCost)
 	t := e.Cur()
 	t.Scratch.PutWord(0, uint32(bytes))
-	d.Submit(&Request{
-		Label:  "read",
-		Bytes:  bytes,
-		Waiter: t,
-		Expect: s.ContDeviceRead,
-		Inline: func(e2 *core.Env) { s.deviceReadContinue(e2) },
-	})
+	t.Scratch.PutWord(1, 0) // attempt count, for the retry path
+	t.Scratch.PutRef(2, d)
+	s.submitIO(t, d, "read", bytes, s.ContDeviceRead,
+		func(e2 *core.Env) { s.deviceReadContinue(e2) })
 	t.State = core.StateWaiting
 	t.WaitLabel = "device_read: " + d.Name
 	s.K.Block(e, stats.BlockDeviceIO, s.ContDeviceRead,
@@ -323,9 +383,14 @@ func (s *Subsystem) DeviceRead(e *core.Env, d *Device, bytes int) {
 }
 
 // deviceReadContinue resumes a device_read once its data is in: copy the
-// buffer out to the caller and return the count. Terminal.
+// buffer out to the caller and return the count. On a posted failure or
+// timeout the retry path takes over instead. Terminal.
 func (s *Subsystem) deviceReadContinue(e *core.Env) {
 	t := e.Cur()
+	if code, ok := s.ioErr[t.ID]; ok {
+		delete(s.ioErr, t.ID)
+		s.retryOrFail(e, code, s.ContDeviceRead)
+	}
 	n := int(t.Scratch.Word(0))
 	e.Charge(machine.CopyBytes(n))
 	s.K.ThreadSyscallReturn(e, uint64(n))
@@ -339,13 +404,10 @@ func (s *Subsystem) DeviceWrite(e *core.Env, d *Device, bytes int) {
 	e.Charge(devCallCost.Plus(machine.CopyBytes(bytes)))
 	t := e.Cur()
 	t.Scratch.PutWord(0, uint32(bytes))
-	d.Submit(&Request{
-		Label:  "write",
-		Bytes:  bytes,
-		Waiter: t,
-		Expect: s.ContDeviceWrite,
-		Inline: func(e2 *core.Env) { s.deviceWriteContinue(e2) },
-	})
+	t.Scratch.PutWord(1, 0) // attempt count, for the retry path
+	t.Scratch.PutRef(2, d)
+	s.submitIO(t, d, "write", bytes, s.ContDeviceWrite,
+		func(e2 *core.Env) { s.deviceWriteContinue(e2) })
 	t.State = core.StateWaiting
 	t.WaitLabel = "device_write: " + d.Name
 	s.K.Block(e, stats.BlockDeviceIO, s.ContDeviceWrite,
@@ -353,8 +415,13 @@ func (s *Subsystem) DeviceWrite(e *core.Env, d *Device, bytes int) {
 }
 
 // deviceWriteContinue resumes a device_write: the data left with the
-// device, return the count. Terminal.
+// device, return the count — or, on a posted failure or timeout, hand
+// over to the retry path. Terminal.
 func (s *Subsystem) deviceWriteContinue(e *core.Env) {
 	t := e.Cur()
+	if code, ok := s.ioErr[t.ID]; ok {
+		delete(s.ioErr, t.ID)
+		s.retryOrFail(e, code, s.ContDeviceWrite)
+	}
 	s.K.ThreadSyscallReturn(e, uint64(t.Scratch.Word(0)))
 }

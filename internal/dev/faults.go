@@ -1,0 +1,195 @@
+package dev
+
+// This file is the fault-injection and recovery half of the device
+// subsystem: injected request failures and latency spikes (from a
+// fault.Plan), the I/O timeout arm on device_read/device_write, bounded
+// retry with exponential backoff resuming through the
+// device_read_continue family, thread_abort support, and the dev
+// contribution to the kernel invariant sweep.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Device I/O return codes (D_SUCCESS is the byte count; errors are
+// distinct small codes after Mach's device interface).
+const (
+	// DevIOError is D_IO_ERROR: the device reported a hard failure.
+	DevIOError uint64 = 2500
+	// DevTimedOut means the request's I/O timeout expired before the
+	// completion interrupt arrived.
+	DevTimedOut uint64 = 2530
+	// DevAborted means the blocked thread was cancelled by thread_abort
+	// while waiting on the request.
+	DevAborted uint64 = 2531
+)
+
+// SetFaultPlan installs a fault plan; device_read/device_write requests
+// consult it for injected failures and latency spikes. Nil uninstalls.
+func (s *Subsystem) SetFaultPlan(p *fault.Plan) { s.Fault = p }
+
+// submitIO builds and submits a user I/O request for the current thread,
+// arming the I/O timeout when one is configured. The caller then blocks
+// with expect. Scratch layout for the retry path: word 0 = bytes,
+// word 1 = attempt count, ref 2 = the device.
+func (s *Subsystem) submitIO(t *core.Thread, d *Device, label string, bytes int,
+	expect *core.Continuation, inline func(e *core.Env)) {
+	r := &Request{
+		Label:   label,
+		Bytes:   bytes,
+		CanFail: true,
+		Waiter:  t,
+		Expect:  expect,
+		Inline:  inline,
+	}
+	if s.IoTimeout > 0 {
+		r.timeout = s.K.Clock.After(s.IoTimeout, d.Name+"-io-timeout", func() {
+			w := r.Waiter
+			if w == nil || w.State != core.StateWaiting {
+				return
+			}
+			// Detach the waiter; if the transfer lands later the io_done
+			// thread discards the orphaned completion.
+			r.Waiter = nil
+			s.IoTimeouts++
+			s.ioErr[w.ID] = DevTimedOut
+			s.K.Setrun(w)
+		})
+	}
+	d.Submit(r)
+}
+
+// retryOrFail handles a failed or timed-out device_read/device_write in
+// the waiter's own context: return the error once the retry budget is
+// spent, otherwise park for an exponential backoff and resubmit the
+// request when the timer fires, re-blocking with the same device
+// continuation. Terminal.
+func (s *Subsystem) retryOrFail(e *core.Env, code uint64, cont *core.Continuation) {
+	t := e.Cur()
+	d, _ := t.Scratch.Ref(2).(*Device)
+	attempt := int(t.Scratch.Word(1))
+	if code == DevAborted || d == nil || attempt >= s.IoMaxRetries {
+		s.K.ThreadSyscallReturn(e, code)
+	}
+	attempt++
+	t.Scratch.PutWord(1, uint32(attempt))
+	s.IoRetries++
+	backoff := s.IoRetryBackoff << uint(attempt-1)
+	label := "read"
+	resume := s.deviceReadContinue
+	if cont == s.ContDeviceWrite {
+		label = "write"
+		resume = s.deviceWriteContinue
+	}
+	bytes := int(t.Scratch.Word(0))
+	ev := s.K.Clock.After(backoff, d.Name+"-io-retry", func() {
+		delete(s.pendingRetry, t.ID)
+		s.submitIO(t, d, label+"-retry", bytes, cont, resume)
+	})
+	s.pendingRetry[t.ID] = ev
+	t.State = core.StateWaiting
+	t.WaitLabel = "device retry: " + d.Name
+	s.K.Block(e, stats.BlockDeviceIO, cont, resume, 192, "device-retry")
+}
+
+// AbortWaiter cancels t's pending device operation — whether the request
+// is queued, in flight, awaiting io_done processing, or parked on a
+// retry backoff — cancelling any armed callouts, and returns DevAborted.
+// ok=false when t is not blocked in the device layer. The thread itself
+// is untouched; kern's thread_abort resumes it.
+func (s *Subsystem) AbortWaiter(t *core.Thread) (code uint64, ok bool) {
+	if ev := s.pendingRetry[t.ID]; ev != nil {
+		s.K.Clock.Cancel(ev)
+		delete(s.pendingRetry, t.ID)
+		return DevAborted, true
+	}
+	detach := func(r *Request) bool {
+		if r == nil || r.Waiter != t {
+			return false
+		}
+		r.Waiter = nil
+		if r.timeout != nil {
+			s.K.Clock.Cancel(r.timeout)
+		}
+		return true
+	}
+	for _, d := range s.devices {
+		if detach(d.inflight) {
+			return DevAborted, true
+		}
+		for _, r := range d.queue {
+			if detach(r) {
+				return DevAborted, true
+			}
+		}
+	}
+	for _, r := range s.completions {
+		if detach(r) {
+			return DevAborted, true
+		}
+	}
+	return 0, false
+}
+
+// checkInvariants is the dev contribution to the kernel invariant sweep
+// (registered by NewSubsystem, run by core.Kernel.Validate): every
+// request waiter is actually waiting, and no detached request still
+// holds an armed I/O timeout.
+func (s *Subsystem) checkInvariants() error {
+	check := func(r *Request, where string) error {
+		if r.Waiter != nil && r.Waiter.State != core.StateWaiting {
+			return fmt.Errorf("dev: %s request %q waiter %v is %v, not waiting",
+				where, r.Label, r.Waiter, r.Waiter.State)
+		}
+		if r.Waiter == nil && r.timeout.Pending() {
+			return fmt.Errorf("dev: detached %s request %q holds a live timeout", where, r.Label)
+		}
+		return nil
+	}
+	for _, d := range s.devices {
+		if d.inflight != nil {
+			if err := check(d.inflight, d.Name+" inflight"); err != nil {
+				return err
+			}
+		}
+		for _, r := range d.queue {
+			if err := check(r, d.Name+" queue"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range s.completions {
+		if err := check(r, "completion"); err != nil {
+			return err
+		}
+	}
+	for id, ev := range s.pendingRetry {
+		if !ev.Pending() {
+			return fmt.Errorf("dev: retry entry for thread %d holds a dead callout", id)
+		}
+	}
+	return nil
+}
+
+// injectCompletion applies the fault plan to a completing request in
+// interrupt context (the device "reporting" a transfer error).
+func (s *Subsystem) injectCompletion(d *Device, r *Request) {
+	if r.CanFail && r.Err == 0 && s.Fault.DeviceFail(d.Name) {
+		r.Err = DevIOError
+		s.IoFailures++
+	}
+}
+
+// injectLatency applies the fault plan's latency spike to a request
+// entering service.
+func (s *Subsystem) injectLatency(d *Device, r *Request) machine.Duration {
+	if !r.CanFail {
+		return 0
+	}
+	return s.Fault.DeviceDelay(d.Name)
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ipc"
 	"repro/internal/machine"
 	"repro/internal/stats"
@@ -44,7 +45,17 @@ type Packet struct {
 	OpID uint32
 	Size int
 	Body any
+
+	// Seq numbers a data packet when the sending netmsg thread runs its
+	// reliability protocol (zero on best-effort traffic); Ack marks the
+	// acknowledgement packet that quiets the sender's retransmit timer
+	// for that sequence number.
+	Seq uint64
+	Ack bool
 }
+
+// ackBytes is the wire size of a bare acknowledgement packet.
+const ackBytes = 32
 
 // NIC is a network interface. Transmit puts packets on the wire to the
 // connected peer; arrival raises an rx interrupt on the peer's machine,
@@ -62,10 +73,17 @@ type NIC struct {
 	// thread installs itself here.
 	handler func(e *core.Env, pkt *Packet)
 
+	// Fault, when non-nil, injects wire faults on transmit: packet drop,
+	// duplication, and delay (reordering).
+	Fault *fault.Plan
+
 	// Counters.
 	TxPackets  uint64
 	RxPackets  uint64
 	Interrupts uint64
+	Dropped    uint64 // transmissions lost to injected drops
+	Duplicated uint64 // transmissions that arrived twice
+	Delayed    uint64 // transmissions held back on the wire
 }
 
 // NewNIC registers a NIC on this machine.
@@ -96,9 +114,26 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 	}
 	e.Charge(nicTxCost.Plus(machine.CopyBytes(pkt.Size)))
 	n.TxPackets++
+	if n.Fault.DropPacket() {
+		// Lost on the wire: the sender already paid the tx cost and, if
+		// running the reliability protocol, will retransmit.
+		n.Dropped++
+		return
+	}
+	wire := n.Wire
+	if extra := n.Fault.DelayPacket(); extra > 0 {
+		// Held back: a later transmission can overtake this one.
+		n.Delayed++
+		wire += extra
+	}
 	peer := n.peer
-	arrival := n.Sub.K.Clock.Now() + n.Wire
+	arrival := n.Sub.K.Clock.Now() + wire
 	peer.Sub.K.Clock.Schedule(arrival, peer.Name+"-rx", func() { peer.receive(pkt) })
+	if n.Fault.DupPacket() {
+		n.Duplicated++
+		peer.Sub.K.Clock.Schedule(arrival+n.Wire/2, peer.Name+"-rx-dup",
+			func() { peer.receive(pkt) })
+	}
 }
 
 // receive is the packet arrival on the destination machine: an rx
@@ -149,12 +184,48 @@ type Netmsg struct {
 	inbox    []*Packet
 	replySeq int
 
+	// Reliable enables the seq/ack protocol: every forwarded data packet
+	// carries a sequence number, is retransmitted until acknowledged, and
+	// arriving duplicates are suppressed — so cross-machine RPC completes
+	// under injected packet loss. Enabled on both machines of a pair.
+	Reliable bool
+
+	// RexmitTimeout is the first retransmit interval (doubling per
+	// attempt); RexmitMax bounds the attempts before the packet is
+	// declared lost.
+	RexmitTimeout machine.Duration
+	RexmitMax     int
+
+	seq     uint64                 // last data sequence number assigned
+	unacked map[uint64]*unackedPkt // awaiting acknowledgement, by seq
+	seen    map[uint64]bool        // peer data seqs already delivered
+	outbox  []*Packet              // retransmissions queued by timers
+
 	// Counters.
 	Forwarded      uint64 // local sends put on the wire
 	Delivered      uint64 // arriving packets delivered to local ports
 	Dropped        uint64 // arriving packets with no registered port
 	InboxHighWater int
+	Retransmits    uint64 // data packets sent again after an ack timeout
+	AcksTx         uint64 // acknowledgements transmitted
+	AcksRx         uint64 // acknowledgements received
+	DupsDropped    uint64 // duplicate data packets suppressed
+	Lost           uint64 // packets abandoned after RexmitMax attempts
 }
+
+// unackedPkt tracks one transmitted-but-unacknowledged data packet.
+type unackedPkt struct {
+	pkt      *Packet
+	timer    *machine.Event
+	attempts int
+}
+
+// DefaultRexmitTimeout is the initial ack wait: generously past one
+// round trip at the default wire latency.
+const DefaultRexmitTimeout = machine.Duration(5 * 1000 * 1000) // 5 ms
+
+// DefaultRexmitMax bounds retransmission attempts per packet.
+const DefaultRexmitMax = 8
 
 // NewNetmsg creates the netmsg thread for a machine and binds it to the
 // NIC (created blocked; packet arrivals wake it through the io_done
@@ -168,6 +239,10 @@ func NewNetmsg(s *Subsystem, x *ipc.IPC, nic *NIC) *Netmsg {
 		exportedBy: make(map[*ipc.Port]string),
 		proxies:    make(map[string]*ipc.Port),
 	}
+	n.RexmitTimeout = DefaultRexmitTimeout
+	n.RexmitMax = DefaultRexmitMax
+	n.unacked = make(map[uint64]*unackedPkt)
+	n.seen = make(map[uint64]bool)
 	n.cont = core.NewContinuation("netmsg_continue", n.loop)
 	var pm func(*core.Env)
 	if !s.K.UseContinuations {
@@ -232,17 +307,63 @@ func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts 
 		replyName = n.exportName(msg.Reply)
 	}
 	n.Forwarded++
-	n.NIC.Transmit(e, &Packet{
+	pkt := &Packet{
 		DstPort:   remote,
 		ReplyPort: replyName,
 		OpID:      msg.OpID,
 		Size:      msg.Size,
 		Body:      msg.Body,
-	})
+	}
+	if n.Reliable {
+		n.seq++
+		pkt.Seq = n.seq
+		n.track(pkt)
+	}
+	n.NIC.Transmit(e, pkt)
 	if opts.ReceiveFrom != nil {
 		n.X.Receive(e, opts.ReceiveFrom, opts.MaxSize)
 	}
 	n.Sub.K.ThreadSyscallReturn(e, ipc.MsgSuccess)
+}
+
+// EnableReliable turns on the seq/ack protocol; enable it on both
+// machines of a connected pair.
+func (n *Netmsg) EnableReliable() { n.Reliable = true }
+
+// UnackedLen reports data packets still awaiting acknowledgement.
+func (n *Netmsg) UnackedLen() int { return len(n.unacked) }
+
+// track registers a data packet as awaiting acknowledgement and arms its
+// retransmit timer.
+func (n *Netmsg) track(pkt *Packet) {
+	u := &unackedPkt{pkt: pkt}
+	n.unacked[pkt.Seq] = u
+	n.armRexmit(u)
+}
+
+// armRexmit schedules the next ack timeout for an unacknowledged packet,
+// doubling the wait per attempt. The timer cannot transmit itself —
+// clock events run in dispatcher context with no kernel Env to charge
+// the tx cost against — so it queues the packet on the outbox and wakes
+// the netmsg thread, which retransmits in thread context.
+func (n *Netmsg) armRexmit(u *unackedPkt) {
+	d := n.RexmitTimeout << uint(u.attempts)
+	u.timer = n.Sub.K.Clock.After(d, "netmsg-rexmit", func() {
+		if n.unacked[u.pkt.Seq] != u {
+			return
+		}
+		u.attempts++
+		if u.attempts > n.RexmitMax {
+			delete(n.unacked, u.pkt.Seq)
+			n.Lost++
+			return
+		}
+		n.outbox = append(n.outbox, u.pkt)
+		if n.Thread.State == core.StateWaiting {
+			n.Sub.K.Setrun(n.Thread)
+		}
+		n.armRexmit(u)
+	})
 }
 
 // takePacket runs in io_done context when an rx completion is processed:
@@ -263,7 +384,17 @@ func (n *Netmsg) takePacket(e *core.Env, pkt *Packet) {
 // packet, then block with this same continuation. Terminal.
 func (n *Netmsg) loop(e *core.Env) {
 	k := n.Sub.K
-	for len(n.inbox) > 0 {
+	for len(n.inbox) > 0 || len(n.outbox) > 0 {
+		// Retransmissions queued by ack timers go out first.
+		for len(n.outbox) > 0 {
+			pkt := n.outbox[0]
+			n.outbox = n.outbox[1:]
+			n.Retransmits++
+			n.NIC.Transmit(e, pkt)
+		}
+		if len(n.inbox) == 0 {
+			break
+		}
 		pkt := n.inbox[0]
 		n.inbox = n.inbox[1:]
 		e.Charge(netmsgDemuxCost)
@@ -283,6 +414,27 @@ func (n *Netmsg) loop(e *core.Env) {
 // May be terminal (handoff) or return (queued delivery).
 func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
 	k := n.Sub.K
+	if pkt.Ack {
+		if u := n.unacked[pkt.Seq]; u != nil {
+			k.Clock.Cancel(u.timer)
+			delete(n.unacked, pkt.Seq)
+		}
+		n.AcksRx++
+		return
+	}
+	if n.Reliable && pkt.Seq != 0 {
+		// Acknowledge before anything else: the delivery below may end in
+		// a terminal stack handoff to the receiver, and a duplicate must
+		// be re-acked (its first ack may have been the packet that was
+		// lost).
+		n.AcksTx++
+		n.NIC.Transmit(e, &Packet{Ack: true, Seq: pkt.Seq, Size: ackBytes})
+		if n.seen[pkt.Seq] {
+			n.DupsDropped++
+			return
+		}
+		n.seen[pkt.Seq] = true
+	}
 	port := n.exported[pkt.DstPort]
 	if port == nil || port.Dead() {
 		n.Dropped++
@@ -298,7 +450,7 @@ func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
 	if recv != nil && recv.Cont != nil && !recv.HasStack() && k.CanHandoff() {
 		n.X.DeliverTo(e, recv, msg)
 		t := e.Cur()
-		if len(n.inbox) > 0 {
+		if len(n.inbox) > 0 || len(n.outbox) > 0 {
 			t.State = core.StateRunnable
 		} else {
 			t.State = core.StateWaiting

@@ -1,0 +1,223 @@
+// Package fault provides seeded, deterministic fault injection for the
+// simulated machines: device request failures and latency spikes, and
+// NIC packet drop, duplication and delay (reordering). A Plan is a rule
+// set plus its own SplitMix64 generator, so a given (seed, spec) pair
+// produces the same fault sequence on every run — the property the CI
+// determinism smoke diffs for.
+//
+// The plan is purely advisory: subsystems consult it at well-defined
+// points (a device starting or completing a request, a NIC putting a
+// packet on the wire) and count what they injected. All methods are safe
+// on a nil *Plan and report "no fault", so call sites need no guards.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Spec is the parsed rule set of a fault plan. Probabilities are in
+// [0, 1]; zero disables a rule.
+type Spec struct {
+	// DeviceFailProb is the probability that a fault-eligible device
+	// request completes with DevIOError instead of data.
+	DeviceFailProb float64
+	// DeviceSlowProb and DeviceSlowExtra inject latency spikes: with the
+	// given probability a request's service time grows by the extra.
+	DeviceSlowProb  float64
+	DeviceSlowExtra machine.Duration
+	// DropProb is the probability a transmitted packet vanishes on the
+	// wire.
+	DropProb float64
+	// DupProb is the probability a transmitted packet arrives twice.
+	DupProb float64
+	// DelayProb and DelayExtra hold a packet back on the wire, letting a
+	// later transmission overtake it (reordering).
+	DelayProb  float64
+	DelayExtra machine.Duration
+}
+
+// Zero reports whether the spec injects nothing.
+func (s Spec) Zero() bool {
+	return s.DeviceFailProb == 0 && s.DeviceSlowProb == 0 &&
+		s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0
+}
+
+// ParseSpec parses a comma-separated rule list:
+//
+//	devfail=0.05,devslow=0.1:2ms,drop=0.1,dup=0.02,delay=0.05:1ms
+//
+// Rules with a duration component (devslow, delay) take "prob:duration",
+// where the duration uses Go syntax ("2ms", "400us"). Omitted durations
+// default to 2ms.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, rule := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(rule), "=")
+		if !ok {
+			return spec, fmt.Errorf("fault: rule %q is not key=value", rule)
+		}
+		probPart, durPart, hasDur := strings.Cut(val, ":")
+		prob, err := strconv.ParseFloat(probPart, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return spec, fmt.Errorf("fault: rule %q needs a probability in [0,1]", rule)
+		}
+		extra := machine.Duration(2 * 1000 * 1000) // 2 ms default
+		if hasDur {
+			d, err := time.ParseDuration(durPart)
+			if err != nil || d < 0 {
+				return spec, fmt.Errorf("fault: rule %q has a bad duration", rule)
+			}
+			extra = machine.Duration(d.Nanoseconds())
+		}
+		switch key {
+		case "devfail":
+			spec.DeviceFailProb = prob
+		case "devslow":
+			spec.DeviceSlowProb = prob
+			spec.DeviceSlowExtra = extra
+		case "drop":
+			spec.DropProb = prob
+		case "dup":
+			spec.DupProb = prob
+		case "delay":
+			spec.DelayProb = prob
+			spec.DelayExtra = extra
+		default:
+			return spec, fmt.Errorf("fault: unknown rule %q", key)
+		}
+	}
+	return spec, nil
+}
+
+// ParseFlag parses the machsim -faults argument "seed:spec", e.g.
+// "42:drop=0.1,dup=0.02". The seed is decimal; the spec follows the
+// first colon (durations inside the spec may themselves contain colons).
+func ParseFlag(s string) (uint64, Spec, error) {
+	seedPart, specPart, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, Spec{}, fmt.Errorf("fault: -faults wants seed:spec, got %q", s)
+	}
+	seed, err := strconv.ParseUint(strings.TrimSpace(seedPart), 10, 64)
+	if err != nil {
+		return 0, Spec{}, fmt.Errorf("fault: bad seed in %q", s)
+	}
+	spec, err := ParseSpec(specPart)
+	if err != nil {
+		return 0, Spec{}, err
+	}
+	return seed, spec, nil
+}
+
+// Stats counts what a plan actually injected.
+type Stats struct {
+	DeviceFails     uint64 // requests forced to complete with an error
+	DeviceSlowdowns uint64 // latency spikes added to requests
+	Drops           uint64 // packets lost on the wire
+	Dups            uint64 // packets delivered twice
+	Delays          uint64 // packets held back (reordering)
+}
+
+// Plan is a seeded rule set. Each machine gets its own plan so the two
+// kernels of a cluster draw from independent streams in a deterministic
+// interleaving.
+type Plan struct {
+	Spec  Spec
+	Stats Stats
+
+	state uint64 // SplitMix64 generator state
+}
+
+// New creates a plan with its own generator.
+func New(seed uint64, spec Spec) *Plan {
+	return &Plan{Spec: spec, state: seed}
+}
+
+// next returns the next 64 random bits (SplitMix64).
+func (p *Plan) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hit draws once and reports true with the given probability, quantized
+// to basis points so the draw is integer-exact.
+func (p *Plan) hit(prob float64) bool {
+	bp := uint64(prob*10000 + 0.5)
+	if bp == 0 {
+		return false
+	}
+	return p.next()%10000 < bp
+}
+
+// DeviceFail reports whether the named device's current request should
+// complete with an I/O error.
+func (p *Plan) DeviceFail(dev string) bool {
+	if p == nil || !p.hit(p.Spec.DeviceFailProb) {
+		return false
+	}
+	p.Stats.DeviceFails++
+	return true
+}
+
+// DeviceDelay returns extra service latency for the named device's
+// current request (zero when no spike is injected).
+func (p *Plan) DeviceDelay(dev string) machine.Duration {
+	if p == nil || !p.hit(p.Spec.DeviceSlowProb) {
+		return 0
+	}
+	p.Stats.DeviceSlowdowns++
+	return p.Spec.DeviceSlowExtra
+}
+
+// DropPacket reports whether the packet being transmitted is lost.
+func (p *Plan) DropPacket() bool {
+	if p == nil || !p.hit(p.Spec.DropProb) {
+		return false
+	}
+	p.Stats.Drops++
+	return true
+}
+
+// DupPacket reports whether the packet being transmitted arrives twice.
+func (p *Plan) DupPacket() bool {
+	if p == nil || !p.hit(p.Spec.DupProb) {
+		return false
+	}
+	p.Stats.Dups++
+	return true
+}
+
+// DelayPacket returns extra wire latency for the packet being
+// transmitted (zero when it travels on time).
+func (p *Plan) DelayPacket() machine.Duration {
+	if p == nil || !p.hit(p.Spec.DelayProb) {
+		return 0
+	}
+	p.Stats.Delays++
+	return p.Spec.DelayExtra
+}
+
+// Injected totals everything the plan injected, for reports.
+func (p *Plan) Injected() uint64 {
+	if p == nil {
+		return 0
+	}
+	s := p.Stats
+	return s.DeviceFails + s.DeviceSlowdowns + s.Drops + s.Dups + s.Delays
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("devfail=%d devslow=%d drop=%d dup=%d delay=%d",
+		s.DeviceFails, s.DeviceSlowdowns, s.Drops, s.Dups, s.Delays)
+}

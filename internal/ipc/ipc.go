@@ -67,6 +67,15 @@ const (
 	// SendInvalidDest is MACH_SEND_INVALID_DEST: the destination port is
 	// dead.
 	SendInvalidDest uint64 = 0x10000003
+	// SendTimedOut is MACH_SEND_TIMED_OUT: the send's timeout expired
+	// while the sender was parked on a full queue.
+	SendTimedOut uint64 = 0x10000004
+	// RcvInterrupted is MACH_RCV_INTERRUPTED: a blocked receive was
+	// cancelled by thread_abort.
+	RcvInterrupted uint64 = 0x10004005
+	// SendInterrupted is MACH_SEND_INTERRUPTED: a blocked send was
+	// cancelled by thread_abort.
+	SendInterrupted uint64 = 0x10000007
 )
 
 // DefaultQueueLimit is the default bound on a port's message queue, as
@@ -199,6 +208,11 @@ type MsgOptions struct {
 	// RcvTimeout, when nonzero, bounds how long the receive phase may
 	// block; an expired receive returns RcvTimedOut.
 	RcvTimeout machine.Duration
+
+	// SndTimeout, when nonzero, bounds how long the send phase may stay
+	// parked on a full queue; an expired send returns SendTimedOut. It
+	// bounds each park, re-arming if the retried send blocks again.
+	SndTimeout machine.Duration
 }
 
 // receiveSource resolves the receive phase's source, or nil.
@@ -281,6 +295,11 @@ type IPC struct {
 	// thread's user program (the copied-out user buffer).
 	received map[int]*Message
 
+	// ports and sets register every allocation, for thread_abort's waiter
+	// search and the invariant checker's consistency sweep.
+	ports []*Port
+	sets  []*PortSet
+
 	nextPortID int
 	nextMsgID  int
 
@@ -316,13 +335,16 @@ func New(k *core.Kernel, style Style) *IPC {
 	x.ContMsgContinue = core.NewContinuation("mach_msg_continue", x.msgContinue)
 	x.ContMsgRcvSlow = core.NewContinuation("mach_msg_receive_slow", x.msgReceiveSlow)
 	x.ContMsgSendRetry = core.NewContinuation("mach_msg_send_retry", x.msgSendRetry)
+	k.Invariants = append(k.Invariants, x.checkInvariants)
 	return x
 }
 
 // NewPort allocates a port.
 func (x *IPC) NewPort(name string) *Port {
 	x.nextPortID++
-	return &Port{ID: x.nextPortID, Name: name}
+	p := &Port{ID: x.nextPortID, Name: name}
+	x.ports = append(x.ports, p)
+	return p
 }
 
 // NewMessage builds a message of the given total size.
@@ -581,8 +603,19 @@ func (x *IPC) blockFullQueue(e *core.Env, dest *Port, opts MsgOptions) {
 		t.Scratch.PutRef(2, opts.ReceiveFrom)
 	}
 	t.Scratch.PutWord(3, uint32(opts.MaxSize))
+	t.Scratch.PutRef(4, opts.SndTimeout)
 	w := &rcvWaiter{t: t}
 	dest.sendWaiters = append(dest.sendWaiters, w)
+	if d := opts.SndTimeout; d != 0 {
+		w.timeout = x.K.Clock.After(d, "mach_msg-snd-timeout", func() {
+			if w.cancelled || w.t.State != core.StateWaiting {
+				return
+			}
+			w.cancelled = true
+			x.rcvError[w.t.ID] = SendTimedOut
+			x.K.Setrun(w.t)
+		})
+	}
 	t.State = core.StateWaiting
 	t.WaitLabel = "mach_msg send (queue full)"
 	x.K.Block(e, stats.BlockReceive, x.ContMsgSendRetry,
@@ -604,6 +637,9 @@ func (x *IPC) msgSendRetry(e *core.Env) {
 		SendTo:  dest,
 		MaxSize: int(t.Scratch.Word(3)),
 	}
+	if d, ok := t.Scratch.Ref(4).(machine.Duration); ok {
+		opts.SndTimeout = d
+	}
 	switch r := t.Scratch.Ref(2).(type) {
 	case *Port:
 		opts.ReceiveFrom = r
@@ -622,6 +658,9 @@ func (x *IPC) wakeSender(p *Port) {
 			continue
 		}
 		w.cancelled = true
+		if w.timeout != nil {
+			x.K.Clock.Cancel(w.timeout)
+		}
 		x.K.Setrun(w.t)
 		return
 	}
@@ -669,6 +708,9 @@ func (x *IPC) DestroyPort(e *core.Env, p *Port) {
 			continue
 		}
 		w.cancelled = true
+		if w.timeout != nil {
+			x.K.Clock.Cancel(w.timeout)
+		}
 		x.rcvError[w.t.ID] = SendInvalidDest
 		x.K.Setrun(w.t)
 	}

@@ -40,7 +40,9 @@ type PortSet struct {
 // NewPortSet allocates an empty port set.
 func (x *IPC) NewPortSet(name string) *PortSet {
 	x.nextPortID++
-	return &PortSet{ID: x.nextPortID, Name: name}
+	ps := &PortSet{ID: x.nextPortID, Name: name}
+	x.sets = append(x.sets, ps)
+	return ps
 }
 
 // AddToSet puts a port into the set. A port belongs to at most one set.

@@ -61,6 +61,7 @@ func (c *Cluster) Step(withBackground bool) bool {
 	}
 	if ev := best.K.Clock.AdvanceToNextEvent(); ev != nil {
 		ev.Fire()
+		best.K.PostDispatchCheck()
 		return true
 	}
 	return false

@@ -1,0 +1,48 @@
+package kern
+
+import "repro/internal/fault"
+
+// InjectFaults seeds this machine's fault plans from one (seed, spec)
+// pair: the device subsystem and the NIC each get an independent
+// SplitMix64 stream derived from the seed, so the same pair reproduces
+// the same fault history bit-for-bit regardless of how the two
+// subsystems interleave their draws. When the spec injects wire faults
+// the netmsg reliability protocol is enabled as well — best-effort
+// forwarding would silently lose messages, which is a broken machine,
+// not an interesting one.
+func (s *System) InjectFaults(seed uint64, spec fault.Spec) {
+	if spec.Zero() {
+		return
+	}
+	if s.Dev != nil {
+		s.Dev.SetFaultPlan(fault.New(seed, spec))
+	}
+	if s.Net != nil {
+		s.Net.NIC.Fault = fault.New(seed^0x9e3779b97f4a7c15, spec)
+		if spec.DropProb > 0 || spec.DupProb > 0 || spec.DelayProb > 0 {
+			s.Net.EnableReliable()
+		}
+	}
+}
+
+// FaultStats sums what this machine's plans actually injected.
+func (s *System) FaultStats() fault.Stats {
+	var st fault.Stats
+	add := func(p *fault.Plan) {
+		if p == nil {
+			return
+		}
+		st.DeviceFails += p.Stats.DeviceFails
+		st.DeviceSlowdowns += p.Stats.DeviceSlowdowns
+		st.Drops += p.Stats.Drops
+		st.Dups += p.Stats.Dups
+		st.Delays += p.Stats.Delays
+	}
+	if s.Dev != nil {
+		add(s.Dev.Fault)
+		if s.Net != nil {
+			add(s.Net.NIC.Fault)
+		}
+	}
+	return st
+}

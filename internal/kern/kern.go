@@ -176,6 +176,12 @@ type System struct {
 	Reaper     *core.Thread
 	contReaper *core.Continuation
 
+	// contAborted is the continuation an aborted thread resumes at; the
+	// pending Mach code for each aborted thread sits in abortCode until
+	// the thread runs it back to user space.
+	contAborted *core.Continuation
+	abortCode   map[int]uint64
+
 	tasks     []*Task
 	nextSpace int
 
@@ -187,6 +193,10 @@ type System struct {
 	// workloads induce (Table 1's bottom row, with kernel faults).
 	AllocWaits uint64
 	LockWaits  uint64
+
+	// Aborted counts threads cancelled out of a blocked operation by
+	// ThreadAbort.
+	Aborted uint64
 }
 
 // Task is an address space plus a name for its threads.
@@ -236,6 +246,8 @@ func New(cfg Config) *System {
 		nic := s.Dev.NewNIC("ne0")
 		s.Net = dev.NewNetmsg(s.Dev, s.IPC, nic)
 	}
+	s.abortCode = make(map[int]uint64)
+	s.contAborted = core.NewContinuation("thread_abort_continue", s.abortReturn)
 	if !cfg.DisableCallout {
 		s.startCallout()
 	}

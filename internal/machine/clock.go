@@ -42,6 +42,11 @@ type Event struct {
 // Cancelled reports whether the event was removed before firing.
 func (e *Event) Cancelled() bool { return e.index == -2 }
 
+// Pending reports whether the event is still queued (neither fired nor
+// cancelled). The invariant checker uses it to prove that cancelled
+// waiters hold no live callouts.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }

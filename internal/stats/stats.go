@@ -118,6 +118,13 @@ type Kernel struct {
 	// I/O thread recognized the waiter's device continuation and finished
 	// the request inline, without a general continuation call.
 	IoDoneRecognitions uint64
+
+	// InvariantPasses counts post-dispatch invariant sweeps that came
+	// back clean (only advances when DebugChecks is on).
+	InvariantPasses uint64
+
+	// Aborts counts thread_abort redirections of blocked threads.
+	Aborts uint64
 }
 
 // RecordBlock tallies one blocking operation.

@@ -12,6 +12,7 @@ package workload
 import (
 	"repro/internal/core"
 	"repro/internal/dev"
+	"repro/internal/fault"
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/machine"
@@ -31,6 +32,17 @@ type NetRPCSpec struct {
 	DiskReadBytes int
 	// DiskLatency overrides the paging disk service time when nonzero.
 	DiskLatency machine.Duration
+
+	// FaultSpec, when nonzero, seeds a deterministic fault plan on each
+	// machine from FaultSeed (machine B uses FaultSeed+1 so the two draw
+	// independent streams). Wire faults switch the netmsg threads to the
+	// reliable seq/ack protocol.
+	FaultSeed uint64
+	FaultSpec fault.Spec
+
+	// DebugChecks arms the kernel invariant sweep after every dispatch
+	// on both machines.
+	DebugChecks bool
 }
 
 // DefaultNetRPC returns the standard two-machine echo workload.
@@ -44,6 +56,24 @@ func DefaultNetRPC() NetRPCSpec {
 		// the same timescale.
 		DiskLatency: machine.Duration(2 * 1000 * 1000), // 2 ms
 	}
+}
+
+// LossyNetRPC is the robustness acceptance workload: the standard echo
+// run under 10% packet loss plus occasional device failures and latency
+// spikes, with the invariant checker armed throughout. Every RPC must
+// still complete — the reliability protocol and the device retry path
+// absorb the faults.
+func LossyNetRPC() NetRPCSpec {
+	s := DefaultNetRPC()
+	s.FaultSeed = 1991 // the paper's year; any seed works
+	s.FaultSpec = fault.Spec{
+		DropProb:        0.10,
+		DeviceFailProb:  0.05,
+		DeviceSlowProb:  0.05,
+		DeviceSlowExtra: machine.Duration(1 * 1000 * 1000), // 1 ms
+	}
+	s.DebugChecks = true
+	return s
 }
 
 // NetRPCResult reports one cross-machine run.
@@ -148,6 +178,12 @@ func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCRe
 	a := kern.New(cfg)
 	b := kern.New(cfg)
 	dev.Connect(a.Net.NIC, b.Net.NIC, spec.Wire)
+	a.InjectFaults(spec.FaultSeed, spec.FaultSpec)
+	b.InjectFaults(spec.FaultSeed+1, spec.FaultSpec)
+	if spec.DebugChecks {
+		a.K.DebugChecks = true
+		b.K.DebugChecks = true
+	}
 
 	// Echo server on machine B, reachable from the wire as "echo".
 	st := b.NewTask("echo-server")
