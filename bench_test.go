@@ -286,6 +286,26 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	sys.Run(0)
 }
 
+// BenchmarkDispatchTracedVsUntraced measures the observability tax on
+// the hottest simulator path: host time per simulated fast RPC with the
+// obs recorder absent (the default — each would-be event is a single nil
+// check) and installed (every event stamped, ring-buffered and folded
+// into the online histograms). EXPERIMENTS.md records the ratio; the
+// enabled path must stay within ~2x of the disabled one.
+func BenchmarkDispatchTracedVsUntraced(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		sys := kern.New(kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true})
+		if traced {
+			sys.EnableObservation(0)
+		}
+		experiments.SetupNullRPC(sys, b.N)
+		b.ResetTimer()
+		sys.Run(0)
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
+}
+
 // ---------------------------------------------------------------------
 // Message-size sweep: inline copy vs out-of-line COW transfer.
 // ---------------------------------------------------------------------

@@ -6,7 +6,7 @@
 //
 //	machsim [-workload compile|build|dos|netrpc] [-flavor mk40|mk32|mach25]
 //	        [-arch ds3100|toshiba] [-scale f] [-seed n] [-v]
-//	        [-faults seed:spec] [-check]
+//	        [-faults seed:spec] [-check] [-trace out.json] [-profile]
 //
 // The netrpc workload boots two machines joined by a NIC pair and runs
 // cross-machine echo RPCs through the in-kernel netmsg threads, printing
@@ -18,6 +18,12 @@
 // kernel invariant sweep after every dispatch. The same -faults argument
 // always produces byte-identical output — the CI determinism smoke
 // diffs two such runs.
+//
+// -trace records every kernel event and writes a Chrome trace_event JSON
+// file (load it in Perfetto or chrome://tracing, or summarize it with
+// cmd/traceview). -profile prints the per-continuation profile and the
+// latency histograms after the run. Both are deterministic: the same
+// flags and seed produce byte-identical traces and reports.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -41,6 +48,8 @@ var (
 	verbose      = flag.Bool("v", false, "also print per-component detail")
 	faultsFlag   = flag.String("faults", "", "seed:spec fault plan, e.g. 42:drop=0.1,devfail=0.05")
 	check        = flag.Bool("check", false, "run the kernel invariant sweep after every dispatch")
+	traceFile    = flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
+	profile      = flag.Bool("profile", false, "print the continuation profile and latency histograms")
 )
 
 func main() {
@@ -103,6 +112,10 @@ func main() {
 	sys := workload.NewSystem(flavor, arch, wspec)
 	sys.K.DebugChecks = *check
 	sys.InjectFaults(faultSeed, faultSpec)
+	var rec *obs.Recorder
+	if *traceFile != "" || *profile {
+		rec = sys.EnableObservation(0)
+	}
 	inst := workload.Install(sys, wspec, *seed)
 	inst.Run()
 	st := sys.K.Stats
@@ -139,6 +152,7 @@ func main() {
 		fmt.Printf("  continuation calls    %12d\n", st.ContinuationCalls)
 		fmt.Printf("  stack attaches        %12d\n", st.StackAttaches)
 		fmt.Printf("  run-queue traffic     %12d enq / %d deq\n", sys.Sched.Enqueues, sys.Sched.Dequeues)
+		fmt.Printf("  run-queue high water  %12d\n", sys.Sched.HighWater)
 		fmt.Printf("  vm: disk faults       %12d\n", sys.VM.DiskFaults)
 		fmt.Printf("  vm: evictions         %12d\n", sys.VM.Evictions)
 		fmt.Printf("  ipc: fast RPCs        %12d\n", sys.IPC.FastRPCs)
@@ -153,6 +167,49 @@ func main() {
 			fmt.Printf("  exceptions handled    %12d\n", inst.ExcServer.Handled)
 		}
 		fmt.Printf("  user time             %12.0f ms\n", float64(sys.K.UserTime)/1e6)
+	}
+
+	emitObservations(rec)
+}
+
+// emitObservations writes the Chrome trace and/or prints the profile
+// report for whichever recorders the run installed (nils are skipped, so
+// callers can pass K.Obs fields directly).
+func emitObservations(recs ...*obs.Recorder) {
+	var live []*obs.Recorder
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChrome(f, live...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: wrote %s (%d machine(s))\n", *traceFile, len(live))
+	}
+	if *profile {
+		for i, r := range live {
+			if len(live) > 1 {
+				fmt.Printf("\nmachine %d profile:\n", i)
+			} else {
+				fmt.Printf("\nprofile:\n")
+			}
+			r.WriteReport(os.Stdout)
+		}
 	}
 }
 
@@ -187,6 +244,7 @@ func runNetRPC(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpe
 	spec.FaultSeed = faultSeed
 	spec.FaultSpec = faultSpec
 	spec.DebugChecks = *check
+	spec.Observe = *traceFile != "" || *profile
 	res := workload.RunNetRPC(flavor, arch, spec)
 
 	fmt.Printf("NetRPC on %v/%v — %d cross-machine RPCs completed in %.2f simulated ms (%d cluster steps)\n",
@@ -230,4 +288,6 @@ func runNetRPC(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpe
 			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
 		printFaultReport(sys)
 	}
+
+	emitObservations(res.Client.K.Obs, res.Server.K.Obs)
 }

@@ -2,6 +2,12 @@
 // steady-state fast RPC of the paper's Figure 2, or the interrupt-driven
 // device_read the device subsystem adds.
 //
+// The rendering comes from the obs event ring: the experiment enables a
+// recorder around exactly one operation and obs.ToTrace converts the
+// captured events back to the classic step-table format, so the output
+// here stays stable while richer tooling (machsim -trace/-profile,
+// traceview) reads the same events.
+//
 // Usage:
 //
 //	tracer [-path rpc|device]

@@ -1,0 +1,38 @@
+// traceview summarizes a Chrome trace_event JSON file written by
+// machsim -trace (or any tool using obs.WriteChrome): per-machine event
+// and thread tables, the continuation profile, and the latency
+// histograms, all recomputed from the events in the file.
+//
+// Usage:
+//
+//	traceview trace.json
+//
+// The output is deterministic: the same trace file always produces the
+// same summary. The full event stream is still in the JSON for Perfetto
+// or chrome://tracing; traceview is the quick terminal look.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceview trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out, err := obs.Summarize(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

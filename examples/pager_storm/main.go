@@ -2,22 +2,33 @@
 // blocked on disk page-ins hold no kernel stacks at all in the
 // continuation kernel, while the process-model kernel dedicates a 4 KB
 // stack to every one of them.
+//
+// With -profile each run is traced through the obs layer and the
+// per-continuation profile plus latency histograms are printed: the MK40
+// table is dominated by vm_fault_continue blocks and the block->wakeup
+// histogram clusters at the disk latency.
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/mach"
 )
 
+var profile = flag.Bool("profile", false, "print the continuation profile and latency histograms per kernel")
+
 // storm boots a kernel, blocks n threads in page faults simultaneously,
 // and reports the stack census at the moment everything is blocked.
-func storm(kernel mach.Kernel, n int) (stacksAtPeak int, perThreadBytes float64) {
+func storm(kernel mach.Kernel, n int) (stacksAtPeak int, perThreadBytes float64, profileText string) {
 	sys := mach.New(
 		mach.WithKernel(kernel),
 		mach.WithMemoryFrames(4096),
 		mach.WithoutCallout(),
 	)
+	if *profile {
+		sys.EnableTrace()
+	}
 	task := sys.NewTask("storm")
 	for i := 0; i < n; i++ {
 		addr := uint64(0x100000 + i*mach.PageSize)
@@ -37,22 +48,33 @@ func storm(kernel mach.Kernel, n int) (stacksAtPeak int, perThreadBytes float64)
 	stacksAtPeak = st.StacksInUse
 	perThreadBytes = st.PerThreadBytes
 	sys.Run()
-	return stacksAtPeak, perThreadBytes
+	profileText = sys.ProfileString()
+	return stacksAtPeak, perThreadBytes, profileText
 }
 
 func main() {
+	flag.Parse()
 	const n = 100
 	fmt.Printf("blocking %d threads in simultaneous page faults:\n\n", n)
 	fmt.Printf("%-28s %14s %18s\n", "kernel", "kernel stacks", "bytes per thread")
-	for _, k := range []struct {
+	kernels := []struct {
 		name   string
 		kernel mach.Kernel
 	}{
 		{"MK40 (continuations)", mach.MK40},
 		{"MK32 (process model)", mach.MK32},
-	} {
-		stacks, bytes := storm(k.kernel, n)
+	}
+	var profiles []string
+	for _, k := range kernels {
+		stacks, bytes, prof := storm(k.kernel, n)
+		profiles = append(profiles, prof)
 		fmt.Printf("%-28s %14d %17.0fB\n", k.name, stacks, bytes)
+	}
+	if *profile {
+		for i, k := range kernels {
+			fmt.Printf("\n%s profile:\n", k.name)
+			fmt.Print(profiles[i])
+		}
 	}
 	fmt.Println()
 	fmt.Println("a faulting thread in MK40 blocks with vm_fault_continue and 28")

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -58,13 +60,22 @@ func (e *Env) Cur() *Thread { return e.P.Cur }
 // Charge records simulated work against the kernel's cost accumulator.
 func (e *Env) Charge(c machine.Cost) { e.K.Acct.Charge(c) }
 
-// Trace appends a trace entry naming the current thread.
-func (e *Env) Trace(kind stats.TraceKind, detail string) {
+// Trace emits an observability event naming the current thread. A nil
+// recorder (the default) makes this a nil check and nothing more; call
+// sites that would pay formatting costs for the detail string guard on
+// e.K.Obs themselves.
+func (e *Env) Trace(kind obs.Kind, detail string) {
+	r := e.K.Obs
+	if r == nil {
+		return
+	}
 	name := "<parked>"
+	tid := 0
 	if e.P.Cur != nil {
 		name = e.P.Cur.Name
+		tid = e.P.Cur.ID
 	}
-	e.K.Trace.Add(kind, name, detail)
+	r.Emit(kind, tid, name, "", detail)
 }
 
 // resumeStep is the payload stored in a preserved stack frame: the
@@ -116,8 +127,11 @@ type Kernel struct {
 	Stacks *machine.StackPool
 	Sched  Scheduler
 	Stats  *stats.Kernel
-	Trace  *stats.Trace
 	Procs  []*Processor
+
+	// Obs is the observability recorder; nil (the default) disables
+	// tracing, leaving only a nil check on every emit path.
+	Obs *obs.Recorder
 
 	// UseContinuations distinguishes the MK40 kernel from the
 	// process-model kernels.
@@ -180,7 +194,6 @@ func NewKernel(cfg Config) *Kernel {
 		Acct:             machine.NewAccumulator(cfg.Model, clock),
 		Stacks:           machine.NewStackPool(clock, cfg.StackVMMetadataBytes),
 		Stats:            &stats.Kernel{},
-		Trace:            &stats.Trace{},
 		UseContinuations: cfg.UseContinuations,
 		NoHandoff:        cfg.NoHandoff,
 		NoRecognition:    cfg.NoRecognition,
@@ -269,6 +282,9 @@ func (k *Kernel) NewThread(spec ThreadSpec) *Thread {
 func (k *Kernel) Setrun(t *Thread) {
 	switch t.State {
 	case StateWaiting:
+		if r := k.Obs; r != nil {
+			r.Emit(obs.Wakeup, t.ID, t.Name, "", t.WaitLabel)
+		}
 		t.State = StateRunnable
 		t.WaitLabel = ""
 		k.queueRunnable(t)
@@ -321,6 +337,9 @@ func (k *Kernel) StackAttach(e *Env, t *Thread, s *machine.Stack, cont *Continua
 	}
 	e.Charge(k.Costs.StackAttach)
 	k.Stats.StackAttaches++
+	if r := k.Obs; r != nil {
+		r.Emit(obs.StackAttach, t.ID, t.Name, cont.Name(), "")
+	}
 	s.SetOwner(machine.OwnerThread)
 	t.Stack = s
 	s.PushFrame(machine.Frame{
@@ -337,6 +356,9 @@ func (k *Kernel) StackDetach(e *Env, t *Thread) *machine.Stack {
 		panic(fmt.Sprintf("core: StackDetach on stackless %v", t))
 	}
 	e.Charge(k.Costs.StackDetach)
+	if r := k.Obs; r != nil {
+		r.Emit(obs.StackDetach, t.ID, t.Name, "", "")
+	}
 	t.Stack = nil
 	s.SetOwner(machine.OwnerTransit)
 	return s
@@ -369,7 +391,13 @@ func (k *Kernel) StackHandoff(e *Env, newt *Thread) {
 	e.P.Cur = newt
 	newt.QuantumRemaining = k.Sched.Quantum()
 	k.Stats.Handoffs++
-	e.Trace(stats.TraceStackHandoff, fmt.Sprintf("from %s", old.Name))
+	if r := k.Obs; r != nil {
+		cn := ""
+		if newt.Cont != nil {
+			cn = newt.Cont.Name()
+		}
+		r.EmitArg(obs.StackHandoff, newt.ID, newt.Name, cn, "from "+old.Name, old.ID)
+	}
 }
 
 // CallContinuation calls the supplied continuation after resetting the
@@ -387,7 +415,9 @@ func (k *Kernel) CallContinuation(e *Env, c *Continuation) {
 		t.Cont = nil
 	}
 	t.Stack.Reset()
-	e.Trace(stats.TraceContinuationCall, c.Name())
+	if r := k.Obs; r != nil {
+		r.Emit(obs.ContinuationCall, t.ID, t.Name, c.Name(), c.Name())
+	}
 	e.P.pending = c.fn
 	panic(unwound{})
 }
@@ -411,7 +441,9 @@ func (k *Kernel) SwitchContext(e *Env, cont *Continuation, resume func(*Env), fr
 	}
 	e.Charge(cost)
 	k.Stats.ContextSwitches++
-	e.Trace(stats.TraceContextSwitch, fmt.Sprintf("to %s", newt.Name))
+	if k.Obs != nil {
+		e.Trace(obs.ContextSwitch, "to "+newt.Name)
+	}
 	if cont != nil {
 		old.Cont = cont
 		old.disposalPending = true
@@ -446,7 +478,10 @@ func (k *Kernel) ThreadSyscallReturn(e *Env, retval uint64) {
 	}
 	t.MD.RetVal = retval
 	e.Charge(k.Costs.SyscallExit)
-	e.Trace(stats.TraceKernelExit, fmt.Sprintf("syscall return %d", retval))
+	if k.Obs != nil {
+		// strconv, not Sprintf: this runs once per syscall when traced.
+		e.Trace(obs.KernelExit, "syscall return "+strconv.FormatUint(retval, 10))
+	}
 	k.enterUser(e)
 }
 
@@ -472,7 +507,7 @@ func (k *Kernel) ThreadSyscallReturnOverride(e *Env, retval uint64, discount mac
 	cost.Loads = sub(cost.Loads, discount.Loads)
 	cost.Stores = sub(cost.Stores, discount.Stores)
 	e.Charge(cost)
-	e.Trace(stats.TraceKernelExit, "override return")
+	e.Trace(obs.KernelExit, "override return")
 	k.enterUser(e)
 }
 
@@ -485,7 +520,7 @@ func (k *Kernel) ThreadExceptionReturn(e *Env) {
 		panic(fmt.Sprintf("core: ThreadExceptionReturn outside an exception (%v)", t))
 	}
 	e.Charge(k.Costs.ExceptionExit)
-	e.Trace(stats.TraceKernelExit, "exception return")
+	e.Trace(obs.KernelExit, "exception return")
 	k.enterUser(e)
 }
 
@@ -565,13 +600,15 @@ func (k *Kernel) Block(e *Env, reason stats.BlockReason, cont *Continuation, res
 		if cont != nil && !k.NoHandoff {
 			// Both sides are continuation-style: hand the stack over
 			// and run the new thread's continuation on it.
-			k.recordBlock(old, reason, true)
+			k.recordBlock(old, reason, true, cont)
 			k.StackHandoff(e, newt)
 			old.Cont = cont
 			if old.State == StateRunnable {
 				k.queueRunnable(old)
 			}
-			e.Trace(stats.TraceBlock, fmt.Sprintf("%s blocked with %s", old.Name, cont.Name()))
+			if k.Obs != nil {
+				e.Trace(obs.Block, old.Name+" blocked with "+cont.Name())
+			}
 			k.CallContinuation(e, newt.Cont)
 		}
 		// Old thread keeps its stack; the new thread needs one.
@@ -580,9 +617,9 @@ func (k *Kernel) Block(e *Env, reason stats.BlockReason, cont *Continuation, res
 		newt.Cont = nil
 	}
 	if cont != nil {
-		k.recordBlock(old, reason, true)
+		k.recordBlock(old, reason, true, cont)
 	} else {
-		k.recordBlock(old, reason, false)
+		k.recordBlock(old, reason, false, nil)
 	}
 	k.SwitchContext(e, cont, resume, frameBytes, label, newt)
 }
@@ -595,21 +632,23 @@ func (k *Kernel) blockAndPark(e *Env, reason stats.BlockReason, cont *Continuati
 		old.Cont = cont
 		s := k.StackDetach(e, old)
 		k.Stacks.Free(s)
-		k.recordBlock(old, reason, true)
+		k.recordBlock(old, reason, true, cont)
 	} else {
 		old.Stack.PushFrame(machine.Frame{
 			Resume: resumeStep(resume),
 			Bytes:  frameBytes,
 			Label:  label,
 		})
-		k.recordBlock(old, reason, false)
+		k.recordBlock(old, reason, false, nil)
 	}
 	if old.State == StateRunnable {
 		// Yielding with nothing else runnable still parks; requeue so
 		// the run loop picks the thread right back up.
 		k.queueRunnable(old)
 	}
-	e.Trace(stats.TraceBlock, fmt.Sprintf("%s blocked; processor %d parks", old.Name, e.P.ID))
+	if k.Obs != nil {
+		e.Trace(obs.Block, fmt.Sprintf("%s blocked; processor %d parks", old.Name, e.P.ID))
+	}
 	e.P.Cur = nil
 	e.P.Prev = old
 	e.P.pending = nil
@@ -633,7 +672,7 @@ func (k *Kernel) BlockDirected(e *Env, reason stats.BlockReason, resume func(*En
 		k.StackAttach(e, newt, st, newt.Cont)
 		newt.Cont = nil
 	}
-	k.recordBlock(old, reason, false)
+	k.recordBlock(old, reason, false, nil)
 	k.SwitchContext(e, nil, resume, frameBytes, label, newt)
 }
 
@@ -654,13 +693,15 @@ func (k *Kernel) ThreadHandoff(e *Env, reason stats.BlockReason, cont *Continuat
 	if old.State == StateRunning {
 		panic(fmt.Sprintf("core: ThreadHandoff: caller must set wait state of %v first", old))
 	}
-	k.recordBlock(old, reason, true)
+	k.recordBlock(old, reason, true, cont)
 	k.StackHandoff(e, newt)
 	old.Cont = cont
 	if old.State == StateRunnable {
 		k.queueRunnable(old)
 	}
-	e.Trace(stats.TraceBlock, fmt.Sprintf("%s blocked with %s", old.Name, cont.Name()))
+	if k.Obs != nil {
+		e.Trace(obs.Block, old.Name+" blocked with "+cont.Name())
+	}
 }
 
 // Recognize performs continuation recognition: if the current thread
@@ -673,11 +714,20 @@ func (k *Kernel) Recognize(e *Env, expect *Continuation) bool {
 	// The comparison itself is a couple of instructions.
 	e.Charge(machine.Cost{Instrs: 3, Loads: 1})
 	if k.NoRecognition || t.Cont != expect {
+		if r := k.Obs; r != nil {
+			actual := "<none>"
+			if t.Cont != nil {
+				actual = t.Cont.Name()
+			}
+			r.Emit(obs.RecognitionMiss, t.ID, t.Name, expect.Name(), actual)
+		}
 		return false
 	}
 	t.Cont = nil
 	k.Stats.Recognitions++
-	e.Trace(stats.TraceRecognition, expect.Name())
+	if r := k.Obs; r != nil {
+		r.Emit(obs.Recognition, t.ID, t.Name, expect.Name(), expect.Name())
+	}
 	return true
 }
 
@@ -688,7 +738,10 @@ func (k *Kernel) threadContinue(e *Env, cont *Continuation) {
 	k.ThreadDispatch(e, e.P.Prev)
 	e.Charge(k.Costs.CallContinuation)
 	k.Stats.ContinuationCalls++
-	e.Trace(stats.TraceContinuationCall, cont.Name())
+	if r := k.Obs; r != nil {
+		t := e.Cur()
+		r.Emit(obs.ContinuationCall, t.ID, t.Name, cont.Name(), cont.Name())
+	}
 	cont.fn(e)
 }
 
@@ -715,6 +768,9 @@ func (k *Kernel) ThreadDispatch(e *Env, old *Thread) {
 // resumeOn installs newt as the processor's current thread and queues its
 // preserved resume step, prefixed by disposal of the old thread.
 func (k *Kernel) resumeOn(p *Processor, newt, old *Thread) {
+	if r := k.Obs; r != nil {
+		r.Emit(obs.Dispatch, newt.ID, newt.Name, "", "")
+	}
 	p.Prev = old
 	p.Cur = newt
 	newt.State = StateRunning
@@ -727,13 +783,26 @@ func (k *Kernel) resumeOn(p *Processor, newt, old *Thread) {
 	}
 }
 
-// recordBlock tallies a block unless the thread opted out of statistics.
-func (k *Kernel) recordBlock(t *Thread, reason stats.BlockReason, discarded bool) {
-	if t.NoStats {
-		return
-	}
+// recordBlock tallies a block unless the thread opted out of statistics,
+// and emits the histogram-driving ThreadBlocked event (every completed
+// blocking operation passes through here exactly once).
+func (k *Kernel) recordBlock(t *Thread, reason stats.BlockReason, discarded bool, cont *Continuation) {
 	if t.Internal {
 		reason = stats.BlockInternal
+	}
+	if r := k.Obs; r != nil {
+		cn := ""
+		if cont != nil {
+			cn = cont.Name()
+		}
+		yield := 0
+		if t.State == StateRunnable {
+			yield = 1
+		}
+		r.EmitArg(obs.ThreadBlocked, t.ID, t.Name, cn, reason.String(), yield)
+	}
+	if t.NoStats {
+		return
 	}
 	k.Stats.RecordBlock(reason, discarded)
 }
@@ -789,7 +858,7 @@ func (k *Kernel) KernelEntry(e *Env, kind UserReturnKind, label string) {
 	} else {
 		e.Charge(k.Costs.ExceptionEntry)
 	}
-	e.Trace(stats.TraceKernelEntry, label)
+	e.Trace(obs.KernelEntry, label)
 }
 
 // TickInterval is the clock-interrupt period: the granularity at which
@@ -1065,7 +1134,7 @@ func (k *Kernel) TakeInterrupt(label string, handler func(*Env)) {
 	before := k.Stacks.InUse()
 	k.Stats.Interrupts++
 	e.Charge(k.Costs.InterruptEntry)
-	e.Trace(stats.TraceInterrupt, label)
+	e.Trace(obs.Interrupt, label)
 	handler(e)
 	if k.Stacks.InUse() != before {
 		panic(fmt.Sprintf("core: interrupt handler %q changed the stack census (%d -> %d)",

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -182,7 +183,22 @@ func (s *Subsystem) injectCompletion(d *Device, r *Request) {
 	if r.CanFail && r.Err == 0 && s.Fault.DeviceFail(d.Name) {
 		r.Err = DevIOError
 		s.IoFailures++
+		s.emitFault(r.Waiter, d.Name+" fail")
 	}
+}
+
+// emitFault records a fault-plan firing against the waiting thread (or
+// anonymously when the fault hits between waiters).
+func (s *Subsystem) emitFault(t *core.Thread, detail string) {
+	rec := s.K.Obs
+	if rec == nil {
+		return
+	}
+	tid, name := 0, ""
+	if t != nil {
+		tid, name = t.ID, t.Name
+	}
+	rec.Emit(obs.FaultInject, tid, name, "", detail)
 }
 
 // injectLatency applies the fault plan's latency spike to a request
@@ -191,5 +207,9 @@ func (s *Subsystem) injectLatency(d *Device, r *Request) machine.Duration {
 	if !r.CanFail {
 		return 0
 	}
-	return s.Fault.DeviceDelay(d.Name)
+	extra := s.Fault.DeviceDelay(d.Name)
+	if extra > 0 {
+		s.emitFault(r.Waiter, fmt.Sprintf("%s slow +%dus", d.Name, uint64(extra)/1000))
+	}
+	return extra
 }

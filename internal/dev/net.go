@@ -14,6 +14,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/ipc"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -104,6 +105,20 @@ func Connect(a, b *NIC, wire machine.Duration) {
 // Peer returns the connected NIC, nil when unconnected.
 func (n *NIC) Peer() *NIC { return n.peer }
 
+// emitWireFault records a wire fault-plan firing in the transmitting
+// kernel's event stream.
+func (n *NIC) emitWireFault(e *core.Env, what string) {
+	r := n.Sub.K.Obs
+	if r == nil {
+		return
+	}
+	tid, name := 0, ""
+	if t := e.Cur(); t != nil {
+		tid, name = t.ID, t.Name
+	}
+	r.Emit(obs.FaultInject, tid, name, "", n.Name+" "+what)
+}
+
 // Transmit puts a packet on the wire in the sender's kernel context.
 // Arrival is scheduled on the peer machine's clock at an absolute time,
 // so two machines with independent clocks agree on when the wire
@@ -118,12 +133,14 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 		// Lost on the wire: the sender already paid the tx cost and, if
 		// running the reliability protocol, will retransmit.
 		n.Dropped++
+		n.emitWireFault(e, "drop")
 		return
 	}
 	wire := n.Wire
 	if extra := n.Fault.DelayPacket(); extra > 0 {
 		// Held back: a later transmission can overtake this one.
 		n.Delayed++
+		n.emitWireFault(e, fmt.Sprintf("delay +%dus", uint64(extra)/1000))
 		wire += extra
 	}
 	peer := n.peer
@@ -131,6 +148,7 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 	peer.Sub.K.Clock.Schedule(arrival, peer.Name+"-rx", func() { peer.receive(pkt) })
 	if n.Fault.DupPacket() {
 		n.Duplicated++
+		n.emitWireFault(e, "duplicate")
 		peer.Sub.K.Clock.Schedule(arrival+n.Wire/2, peer.Name+"-rx-dup",
 			func() { peer.receive(pkt) })
 	}
@@ -152,8 +170,8 @@ func (n *NIC) receive(pkt *Packet) {
 			return // no netmsg thread: drop
 		}
 		s.PostCompletion(&Request{
-			Label: "nic-rx",
-			Bytes: pkt.Size,
+			Label:    "nic-rx",
+			Bytes:    pkt.Size,
 			Complete: func(e2 *core.Env) { h(e2, pkt) },
 		})
 	})

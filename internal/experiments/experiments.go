@@ -12,6 +12,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -415,14 +416,15 @@ func Figure2Trace() *stats.Trace {
 	sys.Start(ct.NewThread("client", cli, 10))
 
 	// Warm up two RPCs so both sides are parked in mach_msg_continue,
-	// then trace the third.
+	// then trace the third by attaching an event recorder for just that
+	// window and rendering the legacy control-transfer steps from it.
 	for cli.done < 3 && sys.K.Step() {
 	}
-	sys.K.Trace.Enabled = true
+	rec := sys.EnableObservation(0)
 	for cli.done < 4 && sys.K.Step() {
 	}
-	sys.K.Trace.Enabled = false
-	trace := sys.K.Trace
+	sys.K.Obs = nil
+	trace := obs.ToTrace(rec.Events())
 	sys.Run(0)
 	return trace
 }
@@ -458,11 +460,11 @@ func DeviceReadTrace() *stats.Trace {
 	// io_done_continue, then trace a second reader end to end.
 	sys.Start(oneRead("warm"))
 	sys.Run(0)
-	sys.K.Trace.Enabled = true
+	rec := sys.EnableObservation(0)
 	sys.Start(oneRead("rd"))
 	sys.Run(0)
-	sys.K.Trace.Enabled = false
-	return sys.K.Trace
+	sys.K.Obs = nil
+	return obs.ToTrace(rec.Events())
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,169 @@
+package experiments_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// smallNetRPC is a short observed cross-machine run: enough traffic to
+// exercise every event kind the netrpc path emits while keeping the
+// golden file small.
+func smallNetRPC() workload.NetRPCSpec {
+	return workload.NetRPCSpec{
+		RPCs:          3,
+		MsgBytes:      64,
+		DiskReads:     2,
+		DiskReadBytes: 1024,
+		DiskLatency:   machine.Duration(2 * 1000 * 1000), // 2 ms
+		Observe:       true,
+	}
+}
+
+// exportSmallRun performs one observed small netrpc run and returns the
+// Chrome trace bytes plus both machines' profile reports.
+func exportSmallRun(t *testing.T) (traceJSON []byte, reports string) {
+	t.Helper()
+	res := workload.RunNetRPC(kern.MK40, machine.ArchDS3100, smallNetRPC())
+	if res.Completed != 3 {
+		t.Fatalf("completed %d RPCs, want 3", res.Completed)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChrome(&buf, res.Client.K.Obs, res.Server.K.Obs); err != nil {
+		t.Fatal(err)
+	}
+	var rep strings.Builder
+	res.Client.K.Obs.WriteReport(&rep)
+	rep.WriteString("\n")
+	res.Server.K.Obs.WriteReport(&rep)
+	return buf.Bytes(), rep.String()
+}
+
+// TestTraceExportDeterministic is the acceptance check for the trace
+// exporter: two identical fixed-seed runs must export byte-identical
+// Chrome JSON and byte-identical profile reports.
+func TestTraceExportDeterministic(t *testing.T) {
+	trace1, rep1 := exportSmallRun(t)
+	trace2, rep2 := exportSmallRun(t)
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("two identical runs exported different trace bytes")
+	}
+	if rep1 != rep2 {
+		t.Fatalf("two identical runs produced different reports:\n%s\n---\n%s", rep1, rep2)
+	}
+	if !json.Valid(trace1) {
+		t.Fatal("exported trace is not valid JSON")
+	}
+}
+
+// TestTraceGolden pins the exported trace of the small netrpc run so any
+// change to event emission, ordering or formatting is visible in review.
+// Regenerate with: go test ./internal/experiments -run TestTraceGolden -update-golden
+func TestTraceGolden(t *testing.T) {
+	got, _ := exportSmallRun(t)
+	path := filepath.Join("testdata", "netrpc_small_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exported trace differs from golden %s (regenerate with -update-golden if the change is intended); got %d bytes, want %d",
+			path, len(got), len(want))
+	}
+}
+
+// TestTraceviewSummary smoke-tests the consumer side: the exported trace
+// replays into the same statistics the live recorders computed.
+func TestTraceviewSummary(t *testing.T) {
+	trace, reports := exportSmallRun(t)
+	out, err := obs.Summarize(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"trace: 2 machine(s)",
+		"machine 0:",
+		"machine 1:",
+		"net-client/cli",
+		"continuation profile:",
+		"mach_msg_continue",
+		"block->wakeup",
+		"rpc round-trip",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Replaying the export recomputes exactly the live reports: every
+	// live report line must appear in the summary.
+	for _, line := range strings.Split(strings.TrimRight(reports, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.Contains(out, line) {
+			t.Fatalf("summary lacks live report line %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestObserveOffByDefault pins the disabled-path contract: without
+// Observe the kernels carry no recorder at all, so every emit site costs
+// one nil check.
+func TestObserveOffByDefault(t *testing.T) {
+	spec := smallNetRPC()
+	spec.Observe = false
+	res := workload.RunNetRPC(kern.MK40, machine.ArchDS3100, spec)
+	if res.Client.K.Obs != nil || res.Server.K.Obs != nil {
+		t.Fatal("recorder installed without Observe")
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed %d RPCs, want 3", res.Completed)
+	}
+}
+
+// TestRecognitionProfileAcrossFlavors checks the headline §2.4 numbers
+// the profiler exists to surface: the continuation kernel recognizes
+// mach_msg_continue on the RPC path, the process-model kernels have no
+// continuations to profile at all.
+func TestRecognitionProfileAcrossFlavors(t *testing.T) {
+	for _, flavor := range []kern.Flavor{kern.MK40, kern.MK32, kern.Mach25} {
+		res := workload.RunNetRPC(flavor, machine.ArchDS3100, smallNetRPC())
+		rec := res.Server.K.Obs
+		if flavor == kern.MK40 {
+			p := rec.Profile("mach_msg_continue")
+			if p == nil || p.RecognitionHits == 0 {
+				t.Fatalf("%v: no mach_msg_continue recognitions: %+v", flavor, p)
+			}
+			if p.HitRate() != 100 {
+				t.Fatalf("%v: hit rate %.1f, want 100", flavor, p.HitRate())
+			}
+		} else {
+			if n := len(rec.Profiles()); n != 0 {
+				t.Fatalf("%v: %d continuation profiles on a process-model kernel", flavor, n)
+			}
+		}
+		if rec.Hist[obs.LatBlockToWakeup].Count == 0 {
+			t.Fatalf("%v: no block->wakeup samples", flavor)
+		}
+	}
+}

@@ -24,9 +24,11 @@ package ipc
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -475,6 +477,17 @@ func (p *Port) push(t *core.Thread) *rcvWaiter {
 func (x *IPC) MachMsg(e *core.Env, opts MsgOptions) {
 	e.Charge(validateCost)
 	src := opts.receiveSource()
+	if r := x.K.Obs; r != nil && opts.Send != nil && src != nil && opts.Send.Reply != nil {
+		// A combined send+receive whose request carries a reply port is
+		// the client half of an RPC; the copy-out that completes the
+		// receive closes the bracket.
+		t := e.Cur()
+		dest := ""
+		if opts.SendTo != nil {
+			dest = opts.SendTo.Name
+		}
+		r.Emit(obs.RPCStart, t.ID, t.Name, "", dest)
+	}
 	if opts.Send != nil {
 		x.send(e, opts, src)
 	}
@@ -497,7 +510,9 @@ func (x *IPC) send(e *core.Env, opts MsgOptions, src source) {
 	}
 	msg.Sender = t
 	e.Charge(transferCost(msg)) // copyin or out-of-line map
-	e.Trace(stats.TraceCopyIn, fmt.Sprintf("%d bytes", msg.Size))
+	if k.Obs != nil {
+		e.Trace(obs.CopyIn, strconv.Itoa(msg.Size)+" bytes")
+	}
 	e.Charge(portLookupCost)
 	e.Charge(rightsCost)
 	if dest.dead {
@@ -512,7 +527,7 @@ func (x *IPC) send(e *core.Env, opts MsgOptions, src source) {
 	}
 
 	e.Charge(findRecvCost)
-	e.Trace(stats.TraceFindReceiver, dest.Name)
+	e.Trace(obs.FindReceiver, dest.Name)
 	recv := x.popWaiter(dest)
 	if recv == nil {
 		// A thread blocked on the port's set can take the message too.
@@ -724,7 +739,7 @@ func (x *IPC) enqueue(e *core.Env, p *Port, msg *Message) {
 	p.queue = append(p.queue, msg)
 	p.Enqueued++
 	x.QueuedSends++
-	e.Trace(stats.TraceQueueMessage, p.Name)
+	e.Trace(obs.QueueMessage, p.Name)
 }
 
 // finishSendPhase either falls into the receive phase (returning to the
@@ -909,7 +924,10 @@ func (x *IPC) finishReceiveChecked(e *core.Env, m *Message, maxSize int) {
 func (x *IPC) copyOutAndReturn(e *core.Env, m *Message) {
 	t := e.Cur()
 	e.Charge(transferCost(m))
-	e.Trace(stats.TraceCopyOut, fmt.Sprintf("%d bytes", m.Size))
+	if r := x.K.Obs; r != nil {
+		e.Trace(obs.CopyOut, strconv.Itoa(m.Size)+" bytes")
+		r.Emit(obs.RPCEnd, t.ID, t.Name, "", "")
+	}
 	x.received[t.ID] = m
 	if x.UserReturnHook != nil && x.UserReturnHook(e, t, m) {
 		panic("ipc: user return hook returned instead of transferring control")

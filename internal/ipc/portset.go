@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
 // source is anything a thread can receive from: a single port or a port
@@ -135,7 +135,7 @@ func (p *Port) pull(x *IPC, e *core.Env) *Message {
 	p.Dequeued++
 	e.Charge(dequeueCost)
 	e.Charge(reparseCost)
-	e.Trace(stats.TraceDequeueMessage, p.Name)
+	e.Trace(obs.DequeueMessage, p.Name)
 	// Room opened up: release a sender blocked on the full queue.
 	x.wakeSender(p)
 	return m

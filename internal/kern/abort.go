@@ -10,6 +10,7 @@ package kern
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ThreadAbort cancels a thread blocked in an interruptible kernel
@@ -35,6 +36,9 @@ func (s *System) ThreadAbort(t *core.Thread) bool {
 		return false
 	}
 	s.abortCode[t.ID] = code
+	if r := s.K.Obs; r != nil {
+		r.Emit(obs.Abort, t.ID, t.Name, "", t.WaitLabel)
+	}
 	t.Scratch.Reset()
 	s.K.AbortToContinuation(t, s.contAborted)
 	s.K.Setrun(t)

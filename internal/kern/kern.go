@@ -29,6 +29,7 @@ import (
 	"repro/internal/exc"
 	"repro/internal/ipc"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -363,6 +364,17 @@ func (t *Task) NewThread(name string, prog core.UserProgram, priority int) *core
 
 // Start makes a thread runnable.
 func (s *System) Start(t *core.Thread) { s.K.Setrun(t) }
+
+// EnableObservation installs an event recorder on this machine's kernel
+// (capacity events retained; obs.DefaultCapacity if <= 0) and returns
+// it. Tracing covers everything emitted from this point on; histograms
+// and the continuation profiler are maintained online, so they see the
+// whole observed window even if the ring evicts early events.
+func (s *System) EnableObservation(capacity int) *obs.Recorder {
+	r := obs.NewRecorder(s.K.Clock, capacity)
+	s.K.Obs = r
+	return r
+}
 
 // Run drives the machine to quiescence or the deadline.
 func (s *System) Run(deadline machine.Time) uint64 { return s.K.Run(deadline) }

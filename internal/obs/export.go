@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// This file holds the exporters: the Chrome trace_event JSON writer
+// (loadable in Perfetto / about:tracing), the matching reader, and the
+// traceview summary built by replaying an exported file through a fresh
+// Recorder. All output is byte-deterministic for identical inputs:
+// events are written in a total order (time, machine, sequence),
+// timestamps are formatted with integer math, and every table iterates
+// sorted keys.
+
+// WriteChrome writes the retained events of one or more recorders as
+// Chrome trace_event JSON. Each recorder becomes one pid ("machine N"),
+// each thread one tid; events are instant events ("ph":"i") carrying the
+// kind as the name and the full event payload in args, so a reader can
+// reconstruct the event stream exactly.
+func WriteChrome(w io.Writer, recs ...*Recorder) error {
+	type pidEvent struct {
+		pid int
+		ev  Event
+	}
+	var all []pidEvent
+	for pid, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, ev := range r.Events() {
+			all = append(all, pidEvent{pid, ev})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.When != b.ev.When {
+			return a.ev.When < b.ev.When
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.ev.Seq < b.ev.Seq
+	})
+
+	// Thread-name metadata: the first event naming a tid wins.
+	type pidTid struct{ pid, tid int }
+	names := make(map[pidTid]string)
+	var nameOrder []pidTid
+	for _, pe := range all {
+		if pe.ev.TID <= 0 || pe.ev.Thread == "" {
+			continue
+		}
+		k := pidTid{pe.pid, pe.ev.TID}
+		if _, ok := names[k]; !ok {
+			names[k] = pe.ev.Thread
+			nameOrder = append(nameOrder, k)
+		}
+	}
+	sort.Slice(nameOrder, func(i, j int) bool {
+		if nameOrder[i].pid != nameOrder[j].pid {
+			return nameOrder[i].pid < nameOrder[j].pid
+		}
+		return nameOrder[i].tid < nameOrder[j].tid
+	})
+
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line []byte) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.Write(line)
+	}
+	for _, k := range nameOrder {
+		line := fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			k.pid, k.tid, jsonString(names[k]))
+		emit([]byte(line))
+	}
+	for _, pe := range all {
+		ev := pe.ev
+		var line bytes.Buffer
+		fmt.Fprintf(&line,
+			`{"name":%s,"cat":"kernel","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"seq":%d,"ns":%d`,
+			jsonString(ev.Kind.String()), pe.pid, ev.TID, microTS(ev.When), ev.Seq, uint64(ev.When))
+		if ev.Arg != 0 {
+			fmt.Fprintf(&line, `,"arg":%d`, ev.Arg)
+		}
+		if ev.Thread != "" {
+			fmt.Fprintf(&line, `,"thread":%s`, jsonString(ev.Thread))
+		}
+		if ev.Cont != "" {
+			fmt.Fprintf(&line, `,"cont":%s`, jsonString(ev.Cont))
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(&line, `,"detail":%s`, jsonString(ev.Detail))
+		}
+		line.WriteString("}}")
+		emit(line.Bytes())
+	}
+	fmt.Fprintf(&b, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"machsim\",\"machines\":%d}}\n",
+		len(recs))
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// microTS renders a nanosecond clock reading as the microsecond
+// timestamp Chrome expects, with integer math so the formatting is
+// deterministic.
+func microTS(t machine.Time) string {
+	ns := uint64(t)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Strings always marshal.
+		panic(err)
+	}
+	return string(b)
+}
+
+// MachineEvents is the decoded event stream of one pid in an exported
+// trace.
+type MachineEvents struct {
+	PID    int
+	Events []Event
+	// ThreadNames maps tid to the exported thread_name metadata.
+	ThreadNames map[int]string
+}
+
+type chromeEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	Args struct {
+		Name   string `json:"name"` // metadata events
+		Seq    uint64 `json:"seq"`
+		NS     uint64 `json:"ns"`
+		Arg    int    `json:"arg"`
+		Thread string `json:"thread"`
+		Cont   string `json:"cont"`
+		Detail string `json:"detail"`
+	} `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ReadChrome parses a trace written by WriteChrome back into per-machine
+// event streams, ordered by pid.
+func ReadChrome(data []byte) ([]*MachineEvents, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: bad trace JSON: %w", err)
+	}
+	byPID := make(map[int]*MachineEvents)
+	var pids []int
+	machineFor := func(pid int) *MachineEvents {
+		m, ok := byPID[pid]
+		if !ok {
+			m = &MachineEvents{PID: pid, ThreadNames: make(map[int]string)}
+			byPID[pid] = m
+			pids = append(pids, pid)
+		}
+		return m
+	}
+	for _, ce := range doc.TraceEvents {
+		m := machineFor(ce.PID)
+		if ce.Ph == "M" {
+			if ce.Name == "thread_name" {
+				m.ThreadNames[ce.TID] = ce.Args.Name
+			}
+			continue
+		}
+		kind, ok := KindFromString(ce.Name)
+		if !ok {
+			continue
+		}
+		m.Events = append(m.Events, Event{
+			Seq:    ce.Args.Seq,
+			When:   machine.Time(ce.Args.NS),
+			Kind:   kind,
+			TID:    ce.TID,
+			Arg:    ce.Args.Arg,
+			Thread: ce.Args.Thread,
+			Cont:   ce.Args.Cont,
+			Detail: ce.Args.Detail,
+		})
+	}
+	sort.Ints(pids)
+	out := make([]*MachineEvents, 0, len(byPID))
+	for _, pid := range pids {
+		m := byPID[pid]
+		// Within one machine the emit sequence is the event order.
+		sort.SliceStable(m.Events, func(i, j int) bool {
+			return m.Events[i].Seq < m.Events[j].Seq
+		})
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Summarize ingests a Chrome trace exported by WriteChrome and returns
+// the traceview report: per-thread timelines plus the histogram and
+// continuation tables recomputed by replaying the events.
+func Summarize(data []byte) (string, error) {
+	machines, err := ReadChrome(data)
+	if err != nil {
+		return "", err
+	}
+	var b bytes.Buffer
+	total := 0
+	var lo, hi machine.Time
+	firstSample := true
+	for _, m := range machines {
+		total += len(m.Events)
+		for _, ev := range m.Events {
+			if firstSample || ev.When < lo {
+				lo = ev.When
+			}
+			if firstSample || ev.When > hi {
+				hi = ev.When
+			}
+			firstSample = false
+		}
+	}
+	fmt.Fprintf(&b, "trace: %d machine(s), %d events, %s - %s\n",
+		len(machines), total, fmtNS(uint64(lo)), fmtNS(uint64(hi)))
+	for _, m := range machines {
+		fmt.Fprintf(&b, "\nmachine %d: %d events\n", m.PID, len(m.Events))
+		writeThreadTable(&b, m)
+		rep := NewReplay()
+		for _, ev := range m.Events {
+			rep.Ingest(ev)
+		}
+		b.WriteString("\n")
+		rep.WriteReport(&b)
+	}
+	return b.String(), nil
+}
+
+// threadRow is one line of the per-thread timeline table.
+type threadRow struct {
+	tid                  int
+	name                 string
+	events               int
+	first, last          machine.Time
+	blocks, handoffs     uint64
+	recogs, interruptsOn uint64
+}
+
+func writeThreadTable(b *bytes.Buffer, m *MachineEvents) {
+	rows := make(map[int]*threadRow)
+	var order []int
+	rowFor := func(tid int) *threadRow {
+		r, ok := rows[tid]
+		if !ok {
+			r = &threadRow{tid: tid, name: m.ThreadNames[tid]}
+			rows[tid] = r
+			order = append(order, tid)
+		}
+		return r
+	}
+	for _, ev := range m.Events {
+		if ev.TID <= 0 {
+			continue
+		}
+		r := rowFor(ev.TID)
+		if r.name == "" && ev.Thread != "" {
+			r.name = ev.Thread
+		}
+		if r.events == 0 || ev.When < r.first {
+			r.first = ev.When
+		}
+		if ev.When > r.last {
+			r.last = ev.When
+		}
+		r.events++
+		switch ev.Kind {
+		case ThreadBlocked:
+			r.blocks++
+		case StackHandoff:
+			r.handoffs++
+		case Recognition:
+			r.recogs++
+		case Interrupt:
+			r.interruptsOn++
+		}
+	}
+	sort.Ints(order)
+	fmt.Fprintf(b, "  %4s  %-16s %8s %12s %12s %7s %9s %7s %7s\n",
+		"tid", "thread", "events", "first", "last", "blocks", "handoffs", "recogs", "intr")
+	for _, tid := range order {
+		r := rows[tid]
+		fmt.Fprintf(b, "  %4d  %-16s %8d %12s %12s %7d %9d %7d %7d\n",
+			r.tid, r.name, r.events, fmtNS(uint64(r.first)), fmtNS(uint64(r.last)),
+			r.blocks, r.handoffs, r.recogs, r.interruptsOn)
+	}
+}

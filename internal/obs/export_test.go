@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// fillRecorder emits a small synthetic kernel history: two threads, a
+// block/handoff pair, an interrupt, and an RPC bracket.
+func fillRecorder() *Recorder {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 128)
+	r.Emit(KernelEntry, 1, "task/cli", "", "mach_msg(rpc)")
+	r.Emit(RPCStart, 1, "task/cli", "", "echo")
+	clock.Advance(100)
+	r.Emit(ThreadBlocked, 1, "task/cli", "mach_msg_continue", "message receive")
+	clock.Advance(50)
+	r.EmitArg(StackHandoff, 2, "task/srv", "mach_msg_continue", "from task/cli", 1)
+	r.Emit(Recognition, 2, "task/srv", "mach_msg_continue", "mach_msg_continue")
+	clock.Advance(25)
+	r.Emit(Interrupt, 0, "", "", "disk read")
+	clock.Advance(825)
+	r.Emit(RPCEnd, 1, "task/cli", "", "")
+	r.Emit(KernelExit, 1, "task/cli", "", "syscall return 0")
+	return r
+}
+
+func TestWriteChromeValidAndDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, fillRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, fillRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical recorders exported different bytes")
+	}
+	if !json.Valid(a.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", a.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 8 events + 2 thread_name metadata records.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("traceEvents = %d, want 10", len(doc.TraceEvents))
+	}
+	if doc.OtherData["machines"] != float64(1) {
+		t.Fatalf("otherData.machines = %v", doc.OtherData["machines"])
+	}
+	// Timestamps are microseconds with integer-math formatting: the
+	// ThreadBlocked event at 100 ns must read 0.100.
+	if !strings.Contains(a.String(), `"ts":0.100`) {
+		t.Fatalf("missing 0.100 µs timestamp:\n%s", a.String())
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	r := fillRecorder()
+	want := r.Events()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	machines, err := ReadChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 1 || machines[0].PID != 0 {
+		t.Fatalf("machines = %+v", machines)
+	}
+	got := machines[0].Events
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if machines[0].ThreadNames[1] != "task/cli" || machines[0].ThreadNames[2] != "task/srv" {
+		t.Fatalf("thread names = %v", machines[0].ThreadNames)
+	}
+}
+
+func TestChromeMultiMachineMerge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, fillRecorder(), fillRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	machines, err := ReadChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 2 || machines[0].PID != 0 || machines[1].PID != 1 {
+		t.Fatalf("machines = %+v", machines)
+	}
+	// Both machines survive the merged, time-sorted writing intact.
+	if len(machines[0].Events) != 8 || len(machines[1].Events) != 8 {
+		t.Fatalf("event counts = %d, %d", len(machines[0].Events), len(machines[1].Events))
+	}
+	// A nil recorder is skipped but still counted in the machines total.
+	buf.Reset()
+	if err := WriteChrome(&buf, nil, fillRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	machines, err = ReadChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 1 || machines[0].PID != 1 {
+		t.Fatalf("nil-skipping machines = %+v", machines)
+	}
+}
+
+func TestSummarizeReplayMatchesLive(t *testing.T) {
+	r := fillRecorder()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Summarize(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"trace: 1 machine(s), 8 events",
+		"machine 0: 8 events",
+		"task/cli",
+		"task/srv",
+		"continuation profile:",
+		"mach_msg_continue",
+		"latency histograms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// The replayed report must match the live recorder's report exactly.
+	var live strings.Builder
+	r.WriteReport(&live)
+	if !strings.Contains(out, live.String()) {
+		t.Fatalf("replayed report diverges from live:\nlive:\n%s\nsummary:\n%s",
+			live.String(), out)
+	}
+}
+
+func TestSummarizeRejectsGarbage(t *testing.T) {
+	if _, err := Summarize([]byte("not json")); err == nil {
+		t.Fatal("Summarize accepted garbage")
+	}
+}

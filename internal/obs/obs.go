@@ -1,0 +1,589 @@
+// Package obs is the kernel's observability layer: a fixed-capacity
+// event ring buffer, online latency histograms, and a per-continuation
+// profiler, all driven by one emit API wired through the control-transfer
+// engine and its substrates (core, sched, ipc, dev, fault, kern).
+//
+// The design mirrors the paper's evaluation method: the argument for
+// continuations rests on *measured* control-transfer behavior (Tables
+// 1–5 count stack usage, handoff frequency and recognition hits), so the
+// simulator records those transfers as typed events stamped with the
+// machine clock, the thread id, and the continuation name. Everything is
+// deterministic for a fixed seed — event order is the dispatch order and
+// timestamps come from the simulated clock — so two identical runs export
+// byte-identical traces (the CI diff relies on this).
+//
+// A kernel with a nil Recorder pays only a nil check per would-be event;
+// histograms and the profiler are updated online at emit time, so they
+// cover the whole run even after the ring has started evicting old
+// events.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Kind labels one recorded kernel event. The first group mirrors the
+// legacy stats.TraceKind steps (emitted at the same call sites with the
+// same detail strings, so Figure 2-style renderings are unchanged); the
+// second group is new lifecycle instrumentation that drives the latency
+// histograms and the continuation profiler.
+type Kind int
+
+const (
+	// Legacy control-transfer steps (Figure 2 rendering).
+	KernelEntry Kind = iota
+	KernelExit
+	CopyIn
+	CopyOut
+	FindReceiver
+	StackHandoff
+	Recognition
+	ContinuationCall
+	ContextSwitch
+	Block
+	Wakeup
+	QueueMessage
+	DequeueMessage
+	Note
+	Interrupt
+
+	// Lifecycle events new to the obs layer.
+
+	// ThreadBlocked is the histogram-driving block record: every
+	// completed blocking operation emits exactly one, carrying the
+	// block reason (Detail), the continuation blocked with (Cont, empty
+	// for process-model blocks), and Arg=1 when the thread yielded but
+	// stayed runnable.
+	ThreadBlocked
+	// RecognitionMiss is a failed continuation recognition: the resumer
+	// expected Cont but found Detail.
+	RecognitionMiss
+	// Dispatch marks a thread starting to run on a processor via the
+	// general resume path (handoffs mark the transfer with StackHandoff
+	// instead).
+	Dispatch
+	// StackAttach / StackDetach bound a kernel stack's tenure on a
+	// thread; together with StackHandoff they yield stack lifetimes.
+	StackAttach
+	StackDetach
+	// RPCStart / RPCEnd bracket a client's mach_msg send+receive round
+	// trip (request carries a reply port; the matching copy-out ends it).
+	RPCStart
+	RPCEnd
+	// FaultInject records a fault plan firing (device error or latency
+	// spike, packet drop/dup/delay).
+	FaultInject
+	// Abort records a thread_abort redirecting a blocked thread.
+	Abort
+
+	numKinds
+)
+
+// NumKinds is the count of distinct event kinds.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case KernelEntry:
+		return "kernel-entry"
+	case KernelExit:
+		return "kernel-exit"
+	case CopyIn:
+		return "copy-in"
+	case CopyOut:
+		return "copy-out"
+	case FindReceiver:
+		return "find-receiver"
+	case StackHandoff:
+		return "stack-handoff"
+	case Recognition:
+		return "recognition"
+	case ContinuationCall:
+		return "call-continuation"
+	case ContextSwitch:
+		return "context-switch"
+	case Block:
+		return "block"
+	case Wakeup:
+		return "wakeup"
+	case QueueMessage:
+		return "queue-message"
+	case DequeueMessage:
+		return "dequeue-message"
+	case Note:
+		return "note"
+	case Interrupt:
+		return "interrupt"
+	case ThreadBlocked:
+		return "thread-blocked"
+	case RecognitionMiss:
+		return "recognition-miss"
+	case Dispatch:
+		return "dispatch"
+	case StackAttach:
+		return "stack-attach"
+	case StackDetach:
+		return "stack-detach"
+	case RPCStart:
+		return "rpc-start"
+	case RPCEnd:
+		return "rpc-end"
+	case FaultInject:
+		return "fault-inject"
+	case Abort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// KindFromString is the inverse of Kind.String, used when re-ingesting
+// an exported trace. The second result is false for unknown names.
+func KindFromString(s string) (Kind, bool) {
+	k, ok := kindByName[s]
+	return k, ok
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, NumKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// legacyKind maps the event kinds the pre-obs kernel actually emitted to
+// their stats.TraceKind equivalents. Lifecycle kinds (and Wakeup, which
+// existed as a TraceKind but was never emitted) are deliberately absent
+// so renderings built on ToTrace keep their historical shape.
+var legacyKind = map[Kind]stats.TraceKind{
+	KernelEntry:      stats.TraceKernelEntry,
+	KernelExit:       stats.TraceKernelExit,
+	CopyIn:           stats.TraceCopyIn,
+	CopyOut:          stats.TraceCopyOut,
+	FindReceiver:     stats.TraceFindReceiver,
+	StackHandoff:     stats.TraceStackHandoff,
+	Recognition:      stats.TraceRecognition,
+	ContinuationCall: stats.TraceContinuationCall,
+	ContextSwitch:    stats.TraceContextSwitch,
+	Block:            stats.TraceBlock,
+	QueueMessage:     stats.TraceQueueMessage,
+	DequeueMessage:   stats.TraceDequeueMessage,
+	Note:             stats.TraceNote,
+	Interrupt:        stats.TraceInterrupt,
+}
+
+// ToTrace renders events as a legacy stats.Trace, keeping only the
+// control-transfer steps the pre-obs kernel traced (with identical
+// thread names and detail strings). cmd/tracer's Figure 2 and device
+// read renderings are built on this, so their golden output is stable.
+func ToTrace(events []Event) *stats.Trace {
+	tr := &stats.Trace{Enabled: true}
+	for _, ev := range events {
+		k, ok := legacyKind[ev.Kind]
+		if !ok {
+			continue
+		}
+		tr.Add(k, ev.Thread, ev.Detail)
+	}
+	return tr
+}
+
+// Event is one recorded kernel event.
+type Event struct {
+	// Seq is the emit sequence number within one recorder, a total
+	// order even when several events share a clock reading.
+	Seq uint64
+	// When is the simulated machine clock at emit time.
+	When machine.Time
+	Kind Kind
+	// TID is the acting thread's id (0 when no thread is current, e.g.
+	// a fault injected in interrupt context on a parked machine).
+	TID int
+	// Arg is kind-specific: the previous thread's id for StackHandoff,
+	// 1 for a yield-style ThreadBlocked (thread stayed runnable).
+	Arg int
+	// Thread is the acting thread's name; Cont the continuation
+	// involved, when any; Detail a human-readable qualifier.
+	Thread string
+	Cont   string
+	Detail string
+}
+
+// Latency indexes the recorder's histograms.
+type Latency int
+
+const (
+	// LatBlockToWakeup is the time a thread spent blocked: from its
+	// ThreadBlocked event to the wakeup (or handoff) that made it
+	// runnable again.
+	LatBlockToWakeup Latency = iota
+	// LatDispatch is the time from becoming runnable to actually
+	// running. Stack handoffs transfer control immediately, so they
+	// contribute zero-latency samples — the fast path is visible as a
+	// spike in the first bucket.
+	LatDispatch
+	// LatStackLifetime is how long one kernel stack stayed attached to
+	// one thread (attach/handoff to detach/handoff).
+	LatStackLifetime
+	// LatRPCRoundTrip is a client's full mach_msg send+receive round
+	// trip.
+	LatRPCRoundTrip
+
+	NumLatencies
+)
+
+func (l Latency) String() string {
+	switch l {
+	case LatBlockToWakeup:
+		return "block->wakeup"
+	case LatDispatch:
+		return "dispatch latency"
+	case LatStackLifetime:
+		return "stack lifetime"
+	case LatRPCRoundTrip:
+		return "rpc round-trip"
+	default:
+		return "unknown"
+	}
+}
+
+// ContProfile aggregates per-continuation behavior, the paper's §2.4
+// recognition argument as a measurable table.
+type ContProfile struct {
+	Name string
+	// Blocks counts threads blocking with this continuation.
+	Blocks uint64
+	// Handoffs counts stack handoffs received while blocked with it.
+	Handoffs uint64
+	// Calls counts resumptions through the general call_continuation
+	// path.
+	Calls uint64
+	// RecognitionHits / RecognitionMisses count resumers that inspected
+	// a blocked thread expecting this continuation and found it / found
+	// something else.
+	RecognitionHits   uint64
+	RecognitionMisses uint64
+}
+
+// HitRate is the recognition hit percentage (0 when never probed).
+func (c *ContProfile) HitRate() float64 {
+	return stats.Percent(c.RecognitionHits, c.RecognitionHits+c.RecognitionMisses)
+}
+
+// DefaultCapacity is the standard event ring size.
+const DefaultCapacity = 1 << 16
+
+// Recorder is one kernel's event sink: a drop-oldest ring of events plus
+// online histograms and the continuation profiler. The zero recorder is
+// not usable; a nil *Recorder is the disabled state and every kernel
+// emit site nil-checks before paying any formatting cost.
+type Recorder struct {
+	clock *machine.Clock
+	seq   uint64
+
+	capacity int
+	ring     []Event
+	head     int // index of the oldest event once the ring is full
+
+	// Dropped counts events evicted from the ring (histograms and the
+	// profiler still saw them).
+	Dropped uint64
+
+	// KindCounts tallies every emitted event by kind.
+	KindCounts [NumKinds]uint64
+
+	// Hist holds the four online latency histograms.
+	Hist [NumLatencies]*Histogram
+
+	conts map[string]*ContProfile
+
+	// Online latency state, keyed by thread id. Thread ids are small
+	// sequential ints and these are touched on every event, so dense
+	// slices beat maps on the hot emit path.
+	blockedAt  tidTimes
+	runnableAt tidTimes
+	stackSince tidTimes
+	rpcStart   tidTimes
+}
+
+// tidTimes maps a small thread id to the opening timestamp of a latency
+// interval. Values are stored as time+1 so the zero value means absent.
+type tidTimes []uint64
+
+func (tt *tidTimes) get(tid int) (machine.Time, bool) {
+	if tid < 0 || tid >= len(*tt) || (*tt)[tid] == 0 {
+		return 0, false
+	}
+	return machine.Time((*tt)[tid] - 1), true
+}
+
+func (tt *tidTimes) set(tid int, v machine.Time) {
+	if tid < 0 {
+		return
+	}
+	for tid >= len(*tt) {
+		*tt = append(*tt, 0)
+	}
+	(*tt)[tid] = uint64(v) + 1
+}
+
+func (tt *tidTimes) del(tid int) {
+	if tid >= 0 && tid < len(*tt) {
+		(*tt)[tid] = 0
+	}
+}
+
+// NewRecorder returns a recorder stamping events from clock, retaining at
+// most capacity events (DefaultCapacity if <= 0).
+func NewRecorder(clock *machine.Clock, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	r := newRecorder(capacity)
+	r.clock = clock
+	return r
+}
+
+// NewReplay returns a recorder that recomputes histograms and profiles
+// from already-stamped events via Ingest — the consumer side used by
+// traceview to rebuild statistics from an exported file.
+func NewReplay() *Recorder { return newRecorder(0) }
+
+func newRecorder(capacity int) *Recorder {
+	r := &Recorder{
+		capacity: capacity,
+		conts:    make(map[string]*ContProfile),
+	}
+	for i := range r.Hist {
+		r.Hist[i] = &Histogram{Name: Latency(i).String()}
+	}
+	return r
+}
+
+// Emit records one event stamped with the current clock.
+func (r *Recorder) Emit(kind Kind, tid int, thread, cont, detail string) {
+	r.EmitArg(kind, tid, thread, cont, detail, 0)
+}
+
+// EmitArg is Emit with the kind-specific Arg field.
+func (r *Recorder) EmitArg(kind Kind, tid int, thread, cont, detail string, arg int) {
+	ev := Event{
+		Seq:    r.seq,
+		Kind:   kind,
+		TID:    tid,
+		Arg:    arg,
+		Thread: thread,
+		Cont:   cont,
+		Detail: detail,
+	}
+	if r.clock != nil {
+		ev.When = r.clock.Now()
+	}
+	r.seq++
+	r.store(ev)
+	r.process(ev)
+}
+
+// Ingest feeds an already-stamped event through the statistics pipeline
+// without storing it (replay mode).
+func (r *Recorder) Ingest(ev Event) { r.process(ev) }
+
+func (r *Recorder) store(ev Event) {
+	if r.capacity == 0 {
+		return
+	}
+	if len(r.ring) < r.capacity {
+		r.ring = append(r.ring, ev)
+		return
+	}
+	r.ring[r.head] = ev
+	r.head = (r.head + 1) % r.capacity
+	r.Dropped++
+}
+
+// process updates the online statistics. Every rule here is also applied
+// by replay, so traceview recomputes the same tables from an export.
+func (r *Recorder) process(ev Event) {
+	r.KindCounts[ev.Kind]++
+	switch ev.Kind {
+	case ThreadBlocked:
+		if ev.Cont != "" {
+			r.prof(ev.Cont).Blocks++
+		}
+		if ev.Arg == 1 {
+			// Yield: the thread never left the runnable state.
+			r.runnableAt.set(ev.TID, ev.When)
+			r.blockedAt.del(ev.TID)
+		} else {
+			r.blockedAt.set(ev.TID, ev.When)
+			r.runnableAt.del(ev.TID)
+		}
+	case Wakeup:
+		if t0, ok := r.blockedAt.get(ev.TID); ok {
+			r.Hist[LatBlockToWakeup].Observe(uint64(ev.When - t0))
+			r.blockedAt.del(ev.TID)
+		}
+		r.runnableAt.set(ev.TID, ev.When)
+	case Dispatch:
+		r.noteRunning(ev.TID, ev.When)
+	case StackHandoff:
+		if ev.Cont != "" {
+			r.prof(ev.Cont).Handoffs++
+		}
+		// The stack's tenure on the old thread ends; a new one starts.
+		if t0, ok := r.stackSince.get(ev.Arg); ok {
+			r.Hist[LatStackLifetime].Observe(uint64(ev.When - t0))
+			r.stackSince.del(ev.Arg)
+		}
+		r.stackSince.set(ev.TID, ev.When)
+		r.noteRunning(ev.TID, ev.When)
+	case StackAttach:
+		r.stackSince.set(ev.TID, ev.When)
+	case StackDetach:
+		if t0, ok := r.stackSince.get(ev.TID); ok {
+			r.Hist[LatStackLifetime].Observe(uint64(ev.When - t0))
+			r.stackSince.del(ev.TID)
+		}
+	case Recognition:
+		if ev.Cont != "" {
+			r.prof(ev.Cont).RecognitionHits++
+		}
+	case RecognitionMiss:
+		if ev.Cont != "" {
+			r.prof(ev.Cont).RecognitionMisses++
+		}
+	case ContinuationCall:
+		if ev.Cont != "" {
+			r.prof(ev.Cont).Calls++
+		}
+	case RPCStart:
+		r.rpcStart.set(ev.TID, ev.When)
+	case RPCEnd:
+		if t0, ok := r.rpcStart.get(ev.TID); ok {
+			r.Hist[LatRPCRoundTrip].Observe(uint64(ev.When - t0))
+			r.rpcStart.del(ev.TID)
+		}
+	}
+}
+
+// noteRunning marks a thread as running at when, closing out whichever
+// latency interval was open. A handoff target goes straight from blocked
+// to running: its wait ends here and its dispatch latency is zero.
+func (r *Recorder) noteRunning(tid int, when machine.Time) {
+	if t0, ok := r.runnableAt.get(tid); ok {
+		r.Hist[LatDispatch].Observe(uint64(when - t0))
+		r.runnableAt.del(tid)
+		return
+	}
+	if t0, ok := r.blockedAt.get(tid); ok {
+		r.Hist[LatBlockToWakeup].Observe(uint64(when - t0))
+		r.Hist[LatDispatch].Observe(0)
+		r.blockedAt.del(tid)
+	}
+}
+
+func (r *Recorder) prof(name string) *ContProfile {
+	c, ok := r.conts[name]
+	if !ok {
+		c = &ContProfile{Name: name}
+		r.conts[name] = c
+	}
+	return c
+}
+
+// Events returns the retained events in emit order.
+func (r *Recorder) Events() []Event {
+	if len(r.ring) < r.capacity || r.head == 0 {
+		return append([]Event(nil), r.ring...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.ring) }
+
+// Profiles returns the continuation profiles sorted by name, so every
+// report built on them is deterministic.
+func (r *Recorder) Profiles() []*ContProfile {
+	out := make([]*ContProfile, 0, len(r.conts))
+	for _, c := range r.conts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Profile returns the profile for one continuation name, nil if never
+// seen.
+func (r *Recorder) Profile(name string) *ContProfile { return r.conts[name] }
+
+// Reset discards all retained events and recorded statistics, keeping
+// the recorder attached.
+func (r *Recorder) Reset() {
+	r.ring = r.ring[:0]
+	r.head = 0
+	r.seq = 0
+	r.Dropped = 0
+	r.KindCounts = [NumKinds]uint64{}
+	for i := range r.Hist {
+		r.Hist[i] = &Histogram{Name: Latency(i).String()}
+	}
+	r.conts = make(map[string]*ContProfile)
+	r.blockedAt = nil
+	r.runnableAt = nil
+	r.stackSince = nil
+	r.rpcStart = nil
+}
+
+// Histogram counts values into power-of-two buckets of simulated clock
+// ticks (nanoseconds): bucket 0 holds zero, bucket i holds
+// [2^(i-1), 2^i).
+type Histogram struct {
+	Name    string
+	Buckets [65]uint64
+	Count   uint64
+	Sum     uint64
+	Min     uint64 // valid when Count > 0
+	Max     uint64
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v uint64) {
+	h.Buckets[bits.Len64(v)]++
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// BucketBounds returns bucket i's half-open range [lo, hi); the last
+// bucket's hi is the maximum uint64.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	if i >= 64 {
+		return 1 << 63, ^uint64(0)
+	}
+	return 1 << (i - 1), 1 << i
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := Kind(0); k < Kind(NumKinds); k++ {
+		s := k.String()
+		if s == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := KindFromString(s)
+		if !ok || got != k {
+			t.Fatalf("KindFromString(%q) = %v, %v; want %v", s, got, ok, k)
+		}
+	}
+	if _, ok := KindFromString("bogus"); ok {
+		t.Fatal("KindFromString accepted an unknown name")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1023, 1024, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count != 8 {
+		t.Fatalf("Count = %d", h.Count)
+	}
+	if h.Min != 0 || h.Max != 1<<40 {
+		t.Fatalf("Min/Max = %d/%d", h.Min, h.Max)
+	}
+	// 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1023 -> 10; 1024 -> 11;
+	// 2^40 -> 41.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1, 41: 1}
+	for i, n := range h.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	// Every observed value must fall inside its bucket's bounds.
+	for _, v := range []uint64{0, 1, 2, 1023, 1024, 1 << 40, 1 << 63, ^uint64(0)} {
+		var h2 Histogram
+		h2.Observe(v)
+		for i, n := range h2.Buckets {
+			if n == 0 {
+				continue
+			}
+			lo, hi := BucketBounds(i)
+			if v < lo || (v >= hi && hi != ^uint64(0)) || (hi == ^uint64(0) && v < lo) {
+				t.Fatalf("value %d counted in bucket %d = [%d, %d)", v, i, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBucketBoundsCoverRange(t *testing.T) {
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 1 {
+		t.Fatalf("bucket 0 = [%d, %d)", lo, hi)
+	}
+	// Consecutive buckets must tile the range with no gap or overlap.
+	for i := 1; i < 64; i++ {
+		prevLo, prevHi := BucketBounds(i - 1)
+		lo, hi := BucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("gap between bucket %d [%d,%d) and %d [%d,%d)", i-1, prevLo, prevHi, i, lo, hi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d = [%d, %d) is empty or wrapped", i, lo, hi)
+		}
+	}
+	if lo, hi := BucketBounds(64); lo != 1<<63 || hi != ^uint64(0) {
+		t.Fatalf("bucket 64 = [%d, %d)", lo, hi)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 4)
+	for i := 0; i < 6; i++ {
+		r.Emit(Note, i, "t", "", "n")
+		clock.Advance(10)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped)
+	}
+	// Statistics still cover everything, including the evicted events.
+	if r.KindCounts[Note] != 6 {
+		t.Fatalf("KindCounts[Note] = %d, want 6", r.KindCounts[Note])
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	// Emit order is preserved: the two oldest (seq 0, 1) are gone.
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+2) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+2)
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRecorder(machine.NewClock(), 0)
+	if r.capacity != DefaultCapacity {
+		t.Fatalf("capacity = %d, want %d", r.capacity, DefaultCapacity)
+	}
+}
+
+// TestLatencyStateMachine drives a synthetic blocked->wakeup->dispatch
+// sequence and a handoff sequence through the recorder and checks which
+// histograms each feeds.
+func TestLatencyStateMachine(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 64)
+
+	// Thread 1 blocks with a continuation at t=0, wakes at t=100, runs at
+	// t=130: one block->wakeup sample of 100, one dispatch sample of 30.
+	r.Emit(ThreadBlocked, 1, "a", "cont_a", "message receive")
+	clock.Advance(100)
+	r.Emit(Wakeup, 1, "a", "", "")
+	clock.Advance(30)
+	r.Emit(Dispatch, 1, "a", "", "")
+
+	bw := r.Hist[LatBlockToWakeup]
+	if bw.Count != 1 || bw.Sum != 100 {
+		t.Fatalf("block->wakeup count/sum = %d/%d, want 1/100", bw.Count, bw.Sum)
+	}
+	dl := r.Hist[LatDispatch]
+	if dl.Count != 1 || dl.Sum != 30 {
+		t.Fatalf("dispatch count/sum = %d/%d, want 1/30", dl.Count, dl.Sum)
+	}
+
+	// Thread 2 blocks at t=130 and receives a stack handoff from thread 3
+	// at t=150: its wait closes (20) and its dispatch latency is zero —
+	// the handoff fast path shows up in bucket 0.
+	r.Emit(ThreadBlocked, 2, "b", "cont_b", "message receive")
+	clock.Advance(20)
+	r.EmitArg(StackHandoff, 2, "b", "cont_b", "from c", 3)
+	if bw.Count != 2 || bw.Sum != 120 {
+		t.Fatalf("block->wakeup count/sum = %d/%d, want 2/120", bw.Count, bw.Sum)
+	}
+	if dl.Count != 2 || dl.Buckets[0] != 1 {
+		t.Fatalf("dispatch count = %d, bucket0 = %d; want handoff's zero sample", dl.Count, dl.Buckets[0])
+	}
+
+	// A yield (Arg=1) is not a block: the thread stayed runnable, so its
+	// queue time goes to dispatch latency, not block->wakeup.
+	r.EmitArg(ThreadBlocked, 4, "d", "", "preempted", 1)
+	clock.Advance(40)
+	r.Emit(Dispatch, 4, "d", "", "")
+	if bw.Count != 2 {
+		t.Fatalf("yield leaked into block->wakeup: count = %d", bw.Count)
+	}
+	if dl.Count != 3 || dl.Sum != 30+0+40 {
+		t.Fatalf("dispatch count/sum = %d/%d, want 3/70", dl.Count, dl.Sum)
+	}
+}
+
+func TestStackLifetime(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 64)
+	r.Emit(StackAttach, 1, "a", "", "")
+	clock.Advance(500)
+	// Handoff from 1 to 2 closes 1's tenure and opens 2's.
+	r.EmitArg(StackHandoff, 2, "b", "", "from a", 1)
+	clock.Advance(250)
+	r.Emit(StackDetach, 2, "b", "", "")
+	h := r.Hist[LatStackLifetime]
+	if h.Count != 2 || h.Sum != 750 || h.Min != 250 || h.Max != 500 {
+		t.Fatalf("stack lifetime count/sum/min/max = %d/%d/%d/%d", h.Count, h.Sum, h.Min, h.Max)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 64)
+	// An unmatched end is ignored.
+	r.Emit(RPCEnd, 1, "a", "", "")
+	if r.Hist[LatRPCRoundTrip].Count != 0 {
+		t.Fatal("unmatched RPCEnd produced a sample")
+	}
+	r.Emit(RPCStart, 1, "a", "", "echo")
+	clock.Advance(1000)
+	r.Emit(RPCEnd, 1, "a", "", "")
+	h := r.Hist[LatRPCRoundTrip]
+	if h.Count != 1 || h.Sum != 1000 {
+		t.Fatalf("rpc count/sum = %d/%d", h.Count, h.Sum)
+	}
+}
+
+func TestContinuationProfiler(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 64)
+	r.Emit(ThreadBlocked, 1, "a", "mach_msg_continue", "message receive")
+	r.Emit(Recognition, 2, "b", "mach_msg_continue", "mach_msg_continue")
+	r.Emit(RecognitionMiss, 2, "b", "mach_msg_continue", "other_continue")
+	r.EmitArg(StackHandoff, 1, "a", "mach_msg_continue", "from b", 2)
+	r.Emit(ContinuationCall, 3, "c", "thread_start", "thread_start")
+
+	p := r.Profile("mach_msg_continue")
+	if p == nil {
+		t.Fatal("no profile for mach_msg_continue")
+	}
+	if p.Blocks != 1 || p.Handoffs != 1 || p.RecognitionHits != 1 || p.RecognitionMisses != 1 {
+		t.Fatalf("profile = %+v", *p)
+	}
+	if got := p.HitRate(); got != 50 {
+		t.Fatalf("HitRate = %v, want 50", got)
+	}
+	if q := r.Profile("thread_start"); q == nil || q.Calls != 1 {
+		t.Fatalf("thread_start profile = %+v", q)
+	}
+	// Never-probed profile: HitRate must be 0, not NaN.
+	if got := r.Profile("thread_start").HitRate(); got != 0 {
+		t.Fatalf("unprobed HitRate = %v", got)
+	}
+	// Profiles() is sorted by name.
+	ps := r.Profiles()
+	if len(ps) != 2 || ps[0].Name != "mach_msg_continue" || ps[1].Name != "thread_start" {
+		t.Fatalf("Profiles order = %v, %v", ps[0].Name, ps[1].Name)
+	}
+}
+
+func TestToTraceKeepsOnlyLegacyKinds(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 64)
+	r.Emit(KernelEntry, 1, "task/t", "", "mach_msg(rpc)")
+	r.Emit(ThreadBlocked, 1, "task/t", "c", "message receive") // new kind: dropped
+	r.Emit(Dispatch, 1, "task/t", "", "")                      // new kind: dropped
+	r.Emit(Wakeup, 1, "task/t", "", "")                        // legacy name, never rendered
+	r.Emit(Block, 1, "task/t", "", "t blocked with c")
+	tr := ToTrace(r.Events())
+	s := tr.String()
+	if !strings.Contains(s, "kernel-entry: mach_msg(rpc)") {
+		t.Fatalf("missing kernel-entry row:\n%s", s)
+	}
+	if !strings.Contains(s, "block: t blocked with c") {
+		t.Fatalf("missing block row:\n%s", s)
+	}
+	for _, banned := range []string{"thread-blocked", "dispatch", "wakeup"} {
+		if strings.Contains(s, banned) {
+			t.Fatalf("ToTrace leaked non-legacy kind %q:\n%s", banned, s)
+		}
+	}
+	if got := len(strings.Split(strings.TrimSpace(s), "\n")); got != 2 {
+		t.Fatalf("trace has %d rows, want 2:\n%s", got, s)
+	}
+}
+
+func TestLegacyKindMapMatchesTraceKinds(t *testing.T) {
+	// Every legacy mapping must agree with the stats kind's own name, so
+	// renderings produced via ToTrace are indistinguishable from the old
+	// direct-to-Trace path.
+	for k, tk := range legacyKind {
+		if k.String() != tk.String() {
+			t.Fatalf("kind %v maps to %v but names differ: %q vs %q",
+				k, tk, k.String(), tk.String())
+		}
+	}
+	if _, ok := legacyKind[Wakeup]; ok {
+		t.Fatal("Wakeup must not be in the legacy map (it was never emitted pre-obs)")
+	}
+	if len(legacyKind) != int(stats.TraceInterrupt)+1-2 {
+		// All TraceKinds except TraceWakeup and TraceSchedule, neither of
+		// which the pre-obs kernel ever emitted.
+		t.Fatalf("legacy map has %d entries", len(legacyKind))
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	build := func() string {
+		clock := machine.NewClock()
+		r := NewRecorder(clock, 64)
+		for i := 0; i < 10; i++ {
+			r.Emit(ThreadBlocked, i%3+1, "t", "cont_x", "message receive")
+			clock.Advance(machine.Duration(100 * (i + 1)))
+			r.Emit(Wakeup, i%3+1, "t", "", "")
+			clock.Advance(7)
+			r.Emit(Dispatch, i%3+1, "t", "", "")
+			r.Emit(Recognition, 9, "probe", "cont_x", "cont_x")
+		}
+		var b strings.Builder
+		r.WriteReport(&b)
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("report not deterministic:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "cont_x") || !strings.Contains(a, "block->wakeup") {
+		t.Fatalf("report missing expected sections:\n%s", a)
+	}
+	if !strings.Contains(a, "100.0%") {
+		t.Fatalf("report missing hit rate:\n%s", a)
+	}
+}
+
+func TestReset(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 8)
+	r.Emit(ThreadBlocked, 1, "a", "c", "x")
+	clock.Advance(5)
+	r.Emit(Wakeup, 1, "a", "", "")
+	r.Reset()
+	if r.Len() != 0 || r.Dropped != 0 {
+		t.Fatalf("Len/Dropped after reset = %d/%d", r.Len(), r.Dropped)
+	}
+	if len(r.Profiles()) != 0 {
+		t.Fatal("profiles survived reset")
+	}
+	for _, h := range r.Hist {
+		if h.Count != 0 {
+			t.Fatalf("histogram %s survived reset", h.Name)
+		}
+	}
+	r.Emit(Note, 1, "a", "", "fresh")
+	if evs := r.Events(); len(evs) != 1 || evs[0].Seq != 0 {
+		t.Fatalf("post-reset events = %v", evs)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport prints the profile report: the per-continuation table and
+// the four latency histograms. The output is deterministic — profiles
+// iterate in sorted name order and all numbers derive from the
+// deterministic event stream.
+func (r *Recorder) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "continuation profile:\n")
+	profs := r.Profiles()
+	if len(profs) == 0 {
+		fmt.Fprintf(w, "  (no continuation events)\n")
+	} else {
+		fmt.Fprintf(w, "  %-28s %8s %9s %7s %10s %11s %9s\n",
+			"continuation", "blocks", "handoffs", "calls", "recog-hit", "recog-miss", "hit-rate")
+		for _, c := range profs {
+			rate := "-"
+			if c.RecognitionHits+c.RecognitionMisses > 0 {
+				rate = fmt.Sprintf("%.1f%%", c.HitRate())
+			}
+			fmt.Fprintf(w, "  %-28s %8d %9d %7d %10d %11d %9s\n",
+				c.Name, c.Blocks, c.Handoffs, c.Calls,
+				c.RecognitionHits, c.RecognitionMisses, rate)
+		}
+	}
+	fmt.Fprintf(w, "\nlatency histograms (power-of-two buckets, simulated ns):\n")
+	for i := range r.Hist {
+		writeHistogram(w, r.Hist[i])
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "\nevent ring: %d event(s) evicted; histograms and profiles cover the full run\n",
+			r.Dropped)
+	}
+}
+
+func writeHistogram(w io.Writer, h *Histogram) {
+	if h.Count == 0 {
+		fmt.Fprintf(w, "  %-18s (no samples)\n", h.Name)
+		return
+	}
+	fmt.Fprintf(w, "  %-18s count %d, min %s, avg %s, max %s\n",
+		h.Name, h.Count, fmtNS(h.Min), fmtNS(uint64(h.Mean()+0.5)), fmtNS(h.Max))
+	lo, hi := -1, 0
+	var peak uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+		if n > peak {
+			peak = n
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		n := h.Buckets[i]
+		blo, bhi := BucketBounds(i)
+		bar := barFor(n, peak)
+		fmt.Fprintf(w, "    [%8s, %8s) %10d %s\n", fmtNS(blo), fmtNS(bhi), n, bar)
+	}
+}
+
+const barWidth = 25
+
+func barFor(n, peak uint64) string {
+	if n == 0 || peak == 0 {
+		return ""
+	}
+	w := int(n * barWidth / peak)
+	if w == 0 {
+		w = 1
+	}
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// fmtNS renders a nanosecond quantity with a human unit, deterministic
+// fixed-precision formatting.
+func fmtNS(v uint64) string {
+	switch {
+	case v < 1_000:
+		return fmt.Sprintf("%dns", v)
+	case v < 1_000_000:
+		return fmt.Sprintf("%.1fus", float64(v)/1e3)
+	case v < 1_000_000_000:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	}
+}

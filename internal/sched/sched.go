@@ -33,6 +33,11 @@ type RunQueue struct {
 	// that fast paths (handoff, directed switch) bypass the queue.
 	Enqueues uint64
 	Dequeues uint64
+
+	// HighWater is the deepest the queue has been — together with the
+	// obs layer's dispatch-latency histogram it shows how much runnable
+	// work piles up behind the running thread.
+	HighWater int
 }
 
 // New returns a run queue with the given quantum (DefaultQuantum if 0).
@@ -62,6 +67,9 @@ func (q *RunQueue) Setrun(t *core.Thread) {
 	q.queues[p] = append(q.queues[p], t)
 	q.count++
 	q.Enqueues++
+	if q.count > q.HighWater {
+		q.HighWater = q.count
+	}
 }
 
 // SelectThread implements core.Scheduler: highest priority first, FIFO

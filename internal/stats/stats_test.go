@@ -1,6 +1,9 @@
 package stats
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestRecordBlockTotals(t *testing.T) {
 	var k Kernel
@@ -23,8 +26,19 @@ func TestRecordBlockTotals(t *testing.T) {
 }
 
 func TestPercent(t *testing.T) {
-	if Percent(1, 0) != 0 {
-		t.Fatal("Percent with zero whole should be 0")
+	// Zero denominators must yield 0, never NaN or Inf — the report
+	// printers feed Percent straight into %.1f and an empty run (0 blocks)
+	// must still render.
+	if got := Percent(1, 0); got != 0 {
+		t.Fatalf("Percent(1, 0) = %v, want 0", got)
+	}
+	if got := Percent(0, 0); got != 0 {
+		t.Fatalf("Percent(0, 0) = %v, want 0", got)
+	}
+	for _, c := range [][2]uint64{{0, 0}, {1, 0}, {^uint64(0), 0}} {
+		if got := Percent(c[0], c[1]); math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Percent(%d, %d) = %v, want finite", c[0], c[1], got)
+		}
 	}
 	if got := Percent(25, 100); got != 25 {
 		t.Fatalf("Percent = %v", got)

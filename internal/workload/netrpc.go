@@ -43,6 +43,11 @@ type NetRPCSpec struct {
 	// DebugChecks arms the kernel invariant sweep after every dispatch
 	// on both machines.
 	DebugChecks bool
+
+	// Observe installs an obs.Recorder on each machine before any thread
+	// starts, so the whole run is traced and profiled. The recorders are
+	// reachable afterwards as Client.K.Obs and Server.K.Obs.
+	Observe bool
 }
 
 // DefaultNetRPC returns the standard two-machine echo workload.
@@ -183,6 +188,10 @@ func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCRe
 	if spec.DebugChecks {
 		a.K.DebugChecks = true
 		b.K.DebugChecks = true
+	}
+	if spec.Observe {
+		a.EnableObservation(0)
+		b.EnableObservation(0)
 	}
 
 	// Echo server on machine B, reachable from the wire as "echo".

@@ -32,12 +32,14 @@ package mach
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exc"
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -145,6 +147,10 @@ func WithoutCallout() Option {
 // System is a booted simulated machine plus kernel.
 type System struct {
 	sys *kern.System
+
+	// rec is the event recorder installed by EnableTrace (nil while
+	// tracing is off).
+	rec *obs.Recorder
 }
 
 // New boots a system.
@@ -304,15 +310,45 @@ func (s *System) BlockBreakdown() (rows map[string]uint64, noDiscard uint64) {
 	return rows, s.sys.K.Stats.TotalNoDiscards()
 }
 
-// EnableTrace turns on control-transfer tracing; String the result after
-// a run (see Figure 2 of the paper).
-func (s *System) EnableTrace() { s.sys.K.Trace.Enabled = true }
+// EnableTrace turns on control-transfer tracing by installing an event
+// recorder on the kernel; String the result after a run (see Figure 2 of
+// the paper).
+func (s *System) EnableTrace() {
+	if s.rec == nil {
+		s.rec = s.sys.EnableObservation(0)
+	}
+}
 
-// TraceString renders the recorded trace.
-func (s *System) TraceString() string { return s.sys.K.Trace.String() }
+// Recorder exposes the installed event recorder (nil until EnableTrace),
+// for histogram and continuation-profile queries.
+func (s *System) Recorder() *obs.Recorder { return s.rec }
 
-// ResetTrace clears recorded trace entries.
-func (s *System) ResetTrace() { s.sys.K.Trace.Reset() }
+// TraceString renders the recorded control-transfer steps in the legacy
+// Figure 2 format.
+func (s *System) TraceString() string {
+	if s.rec == nil {
+		return ""
+	}
+	return obs.ToTrace(s.rec.Events()).String()
+}
+
+// ProfileString renders the recorder's continuation profile and latency
+// histograms ("" until EnableTrace).
+func (s *System) ProfileString() string {
+	if s.rec == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.rec.WriteReport(&b)
+	return b.String()
+}
+
+// ResetTrace clears recorded trace entries and statistics.
+func (s *System) ResetTrace() {
+	if s.rec != nil {
+		s.rec.Reset()
+	}
+}
 
 // EchoServer returns a Program that receives on port forever and answers
 // every message with its own body — the canonical RPC server.
