@@ -286,6 +286,74 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	sys.Run(0)
 }
 
+// BenchmarkDispatchSteadyState measures the allocation behavior of the
+// hottest simulator path: one dispatcher step of a warmed-up MK40 fast-RPC
+// ping-pong. The dispatch engine, the IPC fast path and the benchmark
+// programs all recycle their state, so steady state must report
+// 0 allocs/op — CI fails if an allocation creeps back in.
+func BenchmarkDispatchSteadyState(b *testing.B) {
+	sys := kern.New(kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true})
+	experiments.SetupNullRPC(sys, 1<<30)
+	// Warm until the free lists and ring buffers have reached steady
+	// state: every structure the ping-pong touches has been through at
+	// least one full cycle.
+	for i := 0; i < 2000; i++ {
+		if !sys.K.Step() {
+			b.Fatal("null-RPC pair quiesced during warmup")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.K.Step()
+	}
+}
+
+// BenchmarkClusterStep measures the allocation behavior of the cluster
+// driver itself: two machines each running a warmed-up local fast-RPC
+// ping-pong, stepped round-robin. The driver's sorted view is hoisted
+// and the dispatch path is allocation-free, so this must report
+// 0 allocs/op.
+func BenchmarkClusterStep(b *testing.B) {
+	cfg := kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true}
+	a, c := kern.New(cfg), kern.New(cfg)
+	experiments.SetupNullRPC(a, 1<<30)
+	experiments.SetupNullRPC(c, 1<<30)
+	cluster := kern.NewCluster(a, c)
+	for i := 0; i < 2000; i++ {
+		if !cluster.Step(false) {
+			b.Fatal("cluster quiesced during warmup")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Step(false)
+	}
+}
+
+// BenchmarkClusterNetRPC compares sequential and parallel execution of
+// the same 4-machine cross-machine workload (2 pairs, 32 clients per
+// pair). The outputs are byte-identical (TestParallelEquivalence*); this
+// benchmark shows what the horizon rounds buy in wall-clock. The par/seq
+// speedup is the ns/op ratio of the two sub-benchmarks.
+func BenchmarkClusterNetRPC(b *testing.B) {
+	spec := workload.DefaultNetRPC()
+	spec.Pairs = 2
+	spec.Clients = 32
+	spec.DiskReads = 0
+	run := func(b *testing.B, parallel bool) {
+		spec.Parallel = parallel
+		var res *workload.NetRPCResult
+		for i := 0; i < b.N; i++ {
+			res = workload.RunNetRPC(kern.MK40, machine.ArchDS3100, spec)
+		}
+		b.ReportMetric(float64(res.Completed), "rpcs")
+	}
+	b.Run("seq", func(b *testing.B) { run(b, false) })
+	b.Run("par", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkDispatchTracedVsUntraced measures the observability tax on
 // the hottest simulator path: host time per simulated fast RPC with the
 // obs recorder absent (the default — each would-be event is a single nil

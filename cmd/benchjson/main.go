@@ -1,0 +1,107 @@
+// benchjson converts `go test -bench` output into a JSON report and
+// enforces allocation budgets, for the CI benchmark smoke.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchjson [-o out.json] [-zero-allocs name,name]
+//
+// Each benchmark line becomes an object with its name, iteration count
+// and every reported metric (ns/op, B/op, allocs/op, and any custom
+// b.ReportMetric units). -zero-allocs names benchmarks (prefix match, so
+// sub-benchmarks count) that must report 0 allocs/op; a violation fails
+// the run after the JSON is written.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	zero := flag.String("zero-allocs", "", "comma-separated benchmark name prefixes that must report 0 allocs/op")
+	flag.Parse()
+
+	var results []benchResult
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the CI log keeps the raw table
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  N  value unit  value unit ...
+		if len(fields) < 4 || (len(fields)%2) != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *zero != "" {
+		failed := false
+		for _, prefix := range strings.Split(*zero, ",") {
+			matched := false
+			for _, r := range results {
+				if !strings.HasPrefix(r.Name, prefix) {
+					continue
+				}
+				matched = true
+				if allocs, ok := r.Metrics["allocs/op"]; !ok {
+					fmt.Fprintf(os.Stderr, "benchjson: %s has no allocs/op metric (missing -benchmem?)\n", r.Name)
+					failed = true
+				} else if allocs != 0 {
+					fmt.Fprintf(os.Stderr, "benchjson: %s allocates: %v allocs/op (budget 0)\n", r.Name, allocs)
+					failed = true
+				}
+			}
+			if !matched {
+				fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches %q\n", prefix)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}

@@ -50,6 +50,9 @@ var (
 	check        = flag.Bool("check", false, "run the kernel invariant sweep after every dispatch")
 	traceFile    = flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
 	profile      = flag.Bool("profile", false, "print the continuation profile and latency histograms")
+	pairs        = flag.Int("pairs", 1, "netrpc: client/server machine pairs (2*pairs machines)")
+	clients      = flag.Int("clients", 1, "netrpc: client threads per client machine")
+	parallel     = flag.Bool("parallel", false, "netrpc: run machines on goroutines (byte-identical output)")
 )
 
 func main() {
@@ -237,57 +240,26 @@ func printFaultReport(sys *kern.System) {
 	}
 }
 
-// runNetRPC drives the two-machine echo workload and prints per-machine
+// runNetRPC drives the cross-machine echo workload and prints per-machine
 // block tables plus the device subsystem counters.
 func runNetRPC(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fault.Spec) {
 	spec := workload.DefaultNetRPC()
 	spec.FaultSeed = faultSeed
 	spec.FaultSpec = faultSpec
+	spec.Pairs = *pairs
+	spec.Clients = *clients
+	spec.Parallel = *parallel
 	spec.DebugChecks = *check
 	spec.Observe = *traceFile != "" || *profile
 	res := workload.RunNetRPC(flavor, arch, spec)
 
-	fmt.Printf("NetRPC on %v/%v — %d cross-machine RPCs completed in %.2f simulated ms (%d cluster steps)\n",
-		flavor, arch, res.Completed, float64(res.Elapsed)/1e6, res.Steps)
+	workload.WriteNetRPCReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
+		Faults: *faultsFlag != "", Check: *check,
+	})
 
-	names := []string{"machine A (client)", "machine B (server)"}
-	for i, sys := range []*kern.System{res.Client, res.Server} {
-		st := sys.K.Stats
-		total := st.TotalBlocks()
-		fmt.Printf("\n%s — %d blocking operations\n", names[i], total)
-		fmt.Printf("%-20s %12s %8s\n", "operation", "blocks", "%")
-		for _, r := range stats.DiscardReasons {
-			n := st.BlocksWithDiscard[r]
-			fmt.Printf("%-20s %12d %7.1f%%\n", r, n, stats.Percent(n, total))
-		}
-		fmt.Printf("%-20s %12d %7.1f%%\n", "total stack discards",
-			st.TotalDiscards(), stats.Percent(st.TotalDiscards(), total))
-		fmt.Printf("%-20s %12d %7.1f%%\n", "no stack discards",
-			st.TotalNoDiscards(), stats.Percent(st.TotalNoDiscards(), total))
-		fmt.Printf("%-20s %12d %7.1f%%\n", "stack handoff", st.Handoffs,
-			stats.Percent(st.Handoffs, total))
-		fmt.Printf("%-20s %12d %7.1f%%\n", "recognition", st.Recognitions,
-			stats.Percent(st.Recognitions, total))
-
-		fmt.Printf("\n  devices:\n")
-		fmt.Printf("    interrupts taken          %8d (all on the current stack)\n", st.Interrupts)
-		hc := sys.Dev.HandlerCost
-		fmt.Printf("    handler cycles            %8d instrs, %d loads, %d stores\n",
-			hc.Instrs, hc.Loads, hc.Stores)
-		fmt.Printf("    io_done handoffs          %8d, recognitions %d\n",
-			sys.Dev.IoDoneHandoffs, st.IoDoneRecognitions)
-		for _, d := range sys.Dev.Devices() {
-			fmt.Printf("    %-8s requests         %8d, interrupts %d, queue high-water %d\n",
-				d.Name, d.Requests, d.Interrupts, d.QueueHighWater)
-		}
-		fmt.Printf("    nic tx/rx                 %8d / %d packets\n",
-			sys.Net.NIC.TxPackets, sys.Net.NIC.RxPackets)
-		fmt.Printf("    netmsg forwarded          %8d, delivered %d, inbox high-water %d\n",
-			sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
-		fmt.Printf("  kernel stacks: %.3f average in use, %d worst case\n",
-			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
-		printFaultReport(sys)
+	recs := make([]*obs.Recorder, len(res.Machines))
+	for i, sys := range res.Machines {
+		recs[i] = sys.K.Obs
 	}
-
-	emitObservations(res.Client.K.Obs, res.Server.K.Obs)
+	emitObservations(recs...)
 }

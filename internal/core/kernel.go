@@ -45,6 +45,16 @@ type Processor struct {
 
 	// pending is the next dispatcher action (the trampoline slot).
 	pending func(*Env)
+
+	// dispose is a thread whose post-switch cleanup (thread_dispatch) is
+	// owed before the next pending action runs. Keeping it here instead of
+	// wrapping pending in a closure keeps the dispatch path allocation-free.
+	dispose *Thread
+
+	// env is the processor's reusable execution environment. Env is
+	// immutable, so every dispatch and interrupt on this processor can
+	// share one value instead of allocating per step.
+	env Env
 }
 
 // Env is the kernel execution environment handed to every kernel-mode
@@ -174,6 +184,13 @@ type Kernel struct {
 
 	nextThreadID int
 	rrNext       int // round-robin cursor over processors
+
+	// userStepFn and dispatchFreshFn are the method values of userStep and
+	// dispatchFresh, bound once at construction: assigning a method value
+	// (p.pending = k.userStep) allocates a fresh closure each time, and
+	// these two assignments sit on the per-dispatch hot path.
+	userStepFn      func(*Env)
+	dispatchFreshFn func(*Env)
 }
 
 // NewKernel builds a kernel for the given configuration. The caller must
@@ -198,8 +215,12 @@ func NewKernel(cfg Config) *Kernel {
 		NoHandoff:        cfg.NoHandoff,
 		NoRecognition:    cfg.NoRecognition,
 	}
+	k.userStepFn = k.userStep
+	k.dispatchFreshFn = k.dispatchFresh
 	for i := 0; i < cfg.Processors; i++ {
-		k.Procs = append(k.Procs, &Processor{ID: i})
+		p := &Processor{ID: i}
+		p.env = Env{K: k, P: p}
+		k.Procs = append(k.Procs, p)
 	}
 	return k
 }
@@ -530,7 +551,7 @@ func (k *Kernel) enterUser(e *Env) {
 	t := e.Cur()
 	t.Mode = ModeUser
 	t.UserReturn = ReturnNone
-	e.P.pending = k.userStep
+	e.P.pending = k.userStepFn
 	panic(unwound{})
 }
 
@@ -776,11 +797,8 @@ func (k *Kernel) resumeOn(p *Processor, newt, old *Thread) {
 	newt.State = StateRunning
 	newt.QuantumRemaining = k.Sched.Quantum()
 	f := newt.Stack.PopFrame()
-	step := f.Resume.(resumeStep)
-	p.pending = func(e *Env) {
-		k.ThreadDispatch(e, old)
-		step(e)
-	}
+	p.pending = f.Resume.(resumeStep)
+	p.dispose = old
 }
 
 // recordBlock tallies a block unless the thread opted out of statistics,
@@ -906,7 +924,7 @@ func (k *Kernel) userStep(e *Env) {
 		k.KernelEntry(e, ReturnException, "thread_switch")
 		t.State = StateRunnable
 		k.Block(e, stats.BlockThreadSwitch, ContThreadExceptionReturn,
-			func(e *Env) { k.ThreadExceptionReturn(e) }, 96, "thread_switch")
+			resumeExceptionReturn, 96, "thread_switch")
 	case ActExit:
 		k.KernelEntry(e, ReturnSyscall, "thread_exit")
 		k.Halt(e)
@@ -914,6 +932,11 @@ func (k *Kernel) userStep(e *Env) {
 		panic(fmt.Sprintf("core: unknown action kind %v", act.Kind))
 	}
 }
+
+// resumeExceptionReturn is the process-model counterpart of
+// ContThreadExceptionReturn. It captures nothing, so passing it to Block
+// does not allocate the way an inline closure over k would.
+func resumeExceptionReturn(e *Env) { e.K.ThreadExceptionReturn(e) }
 
 // ContThreadExceptionReturn resumes a thread straight out to user space;
 // it is the continuation preempted and yielding threads block with. It is
@@ -964,7 +987,7 @@ func (k *Kernel) runUserDur(e *Env, t *Thread, dur machine.Duration) {
 		t.QuantumRemaining -= dur
 	}
 	k.burnUser(t, dur)
-	e.P.pending = k.userStep
+	e.P.pending = k.userStepFn
 	panic(unwound{})
 }
 
@@ -987,16 +1010,18 @@ func (k *Kernel) preemptNow(e *Env, t *Thread, label string) {
 	k.KernelEntry(e, ReturnException, label)
 	t.State = StateRunnable
 	k.Block(e, stats.BlockPreempt, ContThreadExceptionReturn,
-		func(e *Env) { k.ThreadExceptionReturn(e) }, 96, "preempt")
+		resumeExceptionReturn, 96, "preempt")
 }
 
 // ---------------------------------------------------------------------
 // The run loop.
 // ---------------------------------------------------------------------
 
-// invoke runs one dispatcher action, absorbing the terminal unwind.
+// invoke runs one dispatcher action, absorbing the terminal unwind. Any
+// owed thread_dispatch (latched by resumeOn) runs first, from the new
+// thread's context, exactly as the closure it replaces did.
 func (k *Kernel) invoke(p *Processor, act func(*Env)) {
-	e := &Env{K: k, P: p}
+	e := &p.env
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(unwound); !ok {
@@ -1004,6 +1029,10 @@ func (k *Kernel) invoke(p *Processor, act func(*Env)) {
 			}
 		}
 	}()
+	if old := p.dispose; old != nil {
+		p.dispose = nil
+		k.ThreadDispatch(e, old)
+	}
 	act(e)
 }
 
@@ -1048,7 +1077,7 @@ func (k *Kernel) StepNoAdvance() bool {
 	for i := 0; i < n; i++ {
 		p := k.Procs[(k.rrNext+i)%n]
 		if p.pending == nil && p.Cur == nil && k.Sched.HasWork() {
-			p.pending = k.dispatchFresh
+			p.pending = k.dispatchFreshFn
 		}
 		if p.pending != nil {
 			k.rrNext = (k.rrNext + i + 1) % n
@@ -1060,6 +1089,55 @@ func (k *Kernel) StepNoAdvance() bool {
 		}
 	}
 	return false
+}
+
+// HasPresentWork reports whether StepNoAdvance would make progress at the
+// current simulated time: a due event, a pending dispatcher action, or a
+// parked processor with queued work.
+func (k *Kernel) HasPresentWork() bool {
+	if at, ok := k.Clock.NextEventTime(); ok && at <= k.Clock.Now() {
+		return true
+	}
+	for _, p := range k.Procs {
+		if p.pending != nil {
+			return true
+		}
+		if p.Cur == nil && k.Sched.HasWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// RunHorizon drives this machine alone up to (but not into) horizon: work
+// at the present first, then clock advances to pending events strictly
+// before the horizon. Present work whose clock has already reached the
+// horizon waits for a later round, and a machine with only background
+// events pending never advances — the Step(false) quiescence rule. The
+// cluster drivers use this as one machine's share of a conservative
+// round: nothing another machine does before the horizon can affect this
+// machine's execution, so rounds may run concurrently. Returns dispatcher
+// steps taken.
+func (k *Kernel) RunHorizon(horizon machine.Time) uint64 {
+	var steps uint64
+	for {
+		if k.Clock.Now() < horizon && k.StepNoAdvance() {
+			steps++
+			continue
+		}
+		if k.Clock.Now() >= horizon || !k.Clock.HasForeground() {
+			return steps
+		}
+		at, ok := k.Clock.NextEventTime()
+		if !ok || at >= horizon {
+			return steps
+		}
+		if ev := k.Clock.AdvanceToNextEvent(); ev != nil {
+			ev.Fire()
+			k.PostDispatchCheck()
+			steps++
+		}
+	}
 }
 
 func (k *Kernel) step(withBackground bool) bool {
@@ -1130,7 +1208,7 @@ func (k *Kernel) TakeInterrupt(label string, handler func(*Env)) {
 			break
 		}
 	}
-	e := &Env{K: k, P: p}
+	e := &p.env
 	before := k.Stacks.InUse()
 	k.Stats.Interrupts++
 	e.Charge(k.Costs.InterruptEntry)

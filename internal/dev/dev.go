@@ -183,6 +183,7 @@ type Subsystem struct {
 
 	devices []*Device
 	byName  map[string]*Device
+	nics    []*NIC
 
 	completions []*Request
 

@@ -70,6 +70,27 @@ type NIC struct {
 
 	peer *NIC
 
+	// index is this NIC's creation order on its machine; together with the
+	// sender's emission counter it forms the deterministic tie-break key
+	// for arrivals scheduled on this machine's clock.
+	index int
+
+	// txSeq numbers every arrival this NIC emits (including injected
+	// duplicates), in transmit order.
+	txSeq uint64
+
+	// deferOn buffers outbound arrivals in pending instead of touching the
+	// peer's clock — the parallel cluster driver sets it so a machine's
+	// round never mutates another machine's state; the coordinator flushes
+	// at the barrier.
+	deferOn bool
+	pending []wireDelivery
+
+	// rxLabel and rxDupLabel are the arrival event labels, precomputed at
+	// Connect so the transmit path does not build strings per packet.
+	rxLabel    string
+	rxDupLabel string
+
 	// handler consumes received packets in io_done context; the netmsg
 	// thread installs itself here.
 	handler func(e *core.Env, pkt *Packet)
@@ -87,10 +108,24 @@ type NIC struct {
 	Delayed    uint64 // transmissions held back on the wire
 }
 
+// wireDelivery is one packet arrival bound for the peer machine, buffered
+// while a parallel round executes.
+type wireDelivery struct {
+	at    machine.Time
+	key   uint64
+	label string
+	pkt   *Packet
+}
+
 // NewNIC registers a NIC on this machine.
 func (s *Subsystem) NewNIC(name string) *NIC {
-	return &NIC{Name: name, Sub: s, Wire: DefaultWireLatency}
+	n := &NIC{Name: name, Sub: s, Wire: DefaultWireLatency, index: len(s.nics)}
+	s.nics = append(s.nics, n)
+	return n
 }
+
+// NICs returns the machine's NICs in creation order.
+func (s *Subsystem) NICs() []*NIC { return s.nics }
 
 // Connect joins two NICs (usually on different machines) with the given
 // wire latency (DefaultWireLatency if 0).
@@ -100,6 +135,8 @@ func Connect(a, b *NIC, wire machine.Duration) {
 	}
 	a.peer, b.peer = b, a
 	a.Wire, b.Wire = wire, wire
+	a.rxLabel, a.rxDupLabel = a.Name+"-rx", a.Name+"-rx-dup"
+	b.rxLabel, b.rxDupLabel = b.Name+"-rx", b.Name+"-rx-dup"
 }
 
 // Peer returns the connected NIC, nil when unconnected.
@@ -145,13 +182,49 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 	}
 	peer := n.peer
 	arrival := n.Sub.K.Clock.Now() + wire
-	peer.Sub.K.Clock.Schedule(arrival, peer.Name+"-rx", func() { peer.receive(pkt) })
+	n.deliverAt(arrival, peer.rxLabel, pkt)
 	if n.Fault.DupPacket() {
 		n.Duplicated++
 		n.emitWireFault(e, "duplicate")
-		peer.Sub.K.Clock.Schedule(arrival+n.Wire/2, peer.Name+"-rx-dup",
-			func() { peer.receive(pkt) })
+		n.deliverAt(arrival+n.Wire/2, peer.rxDupLabel, pkt)
 	}
+}
+
+// deliverAt schedules (or, during a parallel round, buffers) one arrival
+// on the peer machine's clock. The tie-break key — receiving NIC index
+// plus this NIC's emission counter — is what makes the peer's event-heap
+// order identical under the sequential and parallel drivers: at equal
+// arrival times, wire events order after the peer's local events and
+// among themselves by emission order, never by scheduling order.
+func (n *NIC) deliverAt(at machine.Time, label string, pkt *Packet) {
+	peer := n.peer
+	key := uint64(peer.index)<<32 | (n.txSeq & 0xffffffff)
+	n.txSeq++
+	if n.deferOn {
+		n.pending = append(n.pending, wireDelivery{at: at, key: key, label: label, pkt: pkt})
+		return
+	}
+	peer.Sub.K.Clock.ScheduleRemote(at, key, label, func() { peer.receive(pkt) })
+}
+
+// SetDeferred switches the NIC between immediate delivery (scheduling on
+// the peer's clock from the sender's context) and deferred delivery
+// (buffering for a barrier flush). Only cluster drivers toggle this.
+func (n *NIC) SetDeferred(on bool) { n.deferOn = on }
+
+// FlushDeferred schedules every buffered arrival on the peer's clock and
+// returns how many were delivered. Called single-threaded at a parallel
+// round's barrier.
+func (n *NIC) FlushDeferred() int {
+	cnt := len(n.pending)
+	for i := range n.pending {
+		d := n.pending[i]
+		peer, pkt := n.peer, d.pkt
+		peer.Sub.K.Clock.ScheduleRemote(d.at, d.key, d.label, func() { peer.receive(pkt) })
+		n.pending[i] = wireDelivery{}
+	}
+	n.pending = n.pending[:0]
+	return cnt
 }
 
 // receive is the packet arrival on the destination machine: an rx
@@ -338,6 +411,8 @@ func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts 
 		n.track(pkt)
 	}
 	n.NIC.Transmit(e, pkt)
+	// The message is fully serialized into the packet; recycle its buffer.
+	n.X.FreeMessage(msg)
 	if opts.ReceiveFrom != nil {
 		n.X.Receive(e, opts.ReceiveFrom, opts.MaxSize)
 	}

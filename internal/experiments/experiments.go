@@ -27,32 +27,43 @@ var Arches = []machine.Arch{machine.ArchDS3100, machine.ArchToshiba5200}
 // Table 3: null RPC and exception round-trip latency.
 // ---------------------------------------------------------------------
 
-// echoServer answers every request on its port forever.
+// echoServer answers every request on its port forever. Its two syscall
+// actions are built once and reused — a fresh closure per action would
+// put an allocation on every step of the steady-state RPC path.
 type echoServer struct {
 	sys     *kern.System
 	port    *ipc.Port
 	pending *ipc.Message
 	Handled uint64
+
+	recvAct  core.Action
+	replyAct core.Action
 }
 
 func (s *echoServer) Next(e *core.Env, t *core.Thread) core.Action {
+	if s.recvAct.Invoke == nil {
+		s.recvAct = core.Syscall("mach_msg(receive)", func(e *core.Env) {
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
+		})
+		s.replyAct = core.Syscall("mach_msg(reply+receive)", func(e *core.Env) {
+			req := s.pending
+			s.pending = nil
+			op, size, body, to := req.OpID, req.Size, req.Body, req.Reply
+			s.sys.IPC.FreeMessage(req)
+			reply := s.sys.IPC.NewMessage(op|0x8000, size, body, nil)
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: reply, SendTo: to, ReceiveFrom: s.port,
+			})
+		})
+	}
 	if m := s.sys.IPC.Received(t); m != nil {
 		s.pending = m
 	}
 	if s.pending == nil {
-		return core.Syscall("mach_msg(receive)", func(e *core.Env) {
-			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
-		})
+		return s.recvAct
 	}
-	req := s.pending
-	s.pending = nil
 	s.Handled++
-	return core.Syscall("mach_msg(reply+receive)", func(e *core.Env) {
-		reply := s.sys.IPC.NewMessage(req.OpID|0x8000, req.Size, req.Body, nil)
-		s.sys.IPC.MachMsg(e, ipc.MsgOptions{
-			Send: reply, SendTo: req.Reply, ReceiveFrom: s.port,
-		})
-	})
+	return s.replyAct
 }
 
 // PingClient issues null RPCs, recording the simulated time spent
@@ -67,10 +78,24 @@ type PingClient struct {
 	done      int
 	MarkStart machine.Time
 	MarkEnd   machine.Time
+
+	rpcAct core.Action
 }
 
 // Next implements core.UserProgram.
 func (c *PingClient) Next(e *core.Env, t *core.Thread) core.Action {
+	if c.rpcAct.Invoke == nil {
+		c.rpcAct = core.Syscall("mach_msg(rpc)", func(e *core.Env) {
+			req := c.sys.IPC.NewMessage(1, ipc.HeaderBytes, nil, c.reply)
+			c.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: req, SendTo: c.server, ReceiveFrom: c.reply,
+			})
+		})
+	}
+	// Recycle the previous round's echoed reply.
+	if m := c.sys.IPC.Received(t); m != nil {
+		c.sys.IPC.FreeMessage(m)
+	}
 	if c.done == c.warmup {
 		c.MarkStart = c.sys.K.Clock.Now()
 	}
@@ -79,12 +104,7 @@ func (c *PingClient) Next(e *core.Env, t *core.Thread) core.Action {
 		return core.Exit()
 	}
 	c.done++
-	return core.Syscall("mach_msg(rpc)", func(e *core.Env) {
-		req := c.sys.IPC.NewMessage(1, ipc.HeaderBytes, nil, c.reply)
-		c.sys.IPC.MachMsg(e, ipc.MsgOptions{
-			Send: req, SendTo: c.server, ReceiveFrom: c.reply,
-		})
-	})
+	return c.rpcAct
 }
 
 // NullRPC measures the round-trip time of a cross-address space null RPC

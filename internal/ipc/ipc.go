@@ -302,6 +302,16 @@ type IPC struct {
 	ports []*Port
 	sets  []*PortSet
 
+	// waiterFree and msgFree recycle waiter registrations and message
+	// buffers so the steady-state RPC path allocates nothing; see
+	// freeWaiter for the timeout caveat.
+	waiterFree []*rcvWaiter
+	msgFree    []*Message
+
+	// msgSendRetryFn is the bound method value of msgSendRetry, built once
+	// so blockFullQueue does not allocate a closure per full-queue park.
+	msgSendRetryFn func(*core.Env)
+
 	nextPortID int
 	nextMsgID  int
 
@@ -337,6 +347,7 @@ func New(k *core.Kernel, style Style) *IPC {
 	x.ContMsgContinue = core.NewContinuation("mach_msg_continue", x.msgContinue)
 	x.ContMsgRcvSlow = core.NewContinuation("mach_msg_receive_slow", x.msgReceiveSlow)
 	x.ContMsgSendRetry = core.NewContinuation("mach_msg_send_retry", x.msgSendRetry)
+	x.msgSendRetryFn = x.msgSendRetry
 	k.Invariants = append(k.Invariants, x.checkInvariants)
 	return x
 }
@@ -349,13 +360,33 @@ func (x *IPC) NewPort(name string) *Port {
 	return p
 }
 
-// NewMessage builds a message of the given total size.
+// NewMessage builds a message of the given total size, recycling a freed
+// buffer when one is available. IDs are always fresh.
 func (x *IPC) NewMessage(op uint32, size int, body any, reply *Port) *Message {
 	if size < HeaderBytes {
 		size = HeaderBytes
 	}
 	x.nextMsgID++
+	if n := len(x.msgFree); n > 0 {
+		m := x.msgFree[n-1]
+		x.msgFree[n-1] = nil
+		x.msgFree = x.msgFree[:n-1]
+		*m = Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply}
+		return m
+	}
 	return &Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply}
+}
+
+// FreeMessage returns a consumed message to the subsystem's pool — the
+// simulated analogue of freeing the kernel message buffer. The caller must
+// drop every reference: a later NewMessage may hand the buffer out again
+// with fresh contents.
+func (x *IPC) FreeMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	*m = Message{}
+	x.msgFree = append(x.msgFree, m)
 }
 
 // Received returns (and clears) the message the thread's last successful
@@ -404,7 +435,7 @@ func (x *IPC) PopWaiter(e *core.Env, p *Port) *core.Thread {
 // size constraint is present).
 func (x *IPC) RegisterReceiver(t *core.Thread, p *Port, maxSize int) (cont *core.Continuation) {
 	x.saveReceiveState(t, p, maxSize)
-	p.push(t)
+	p.push(x, t)
 	t.WaitLabel = "mach_msg receive"
 	if maxSize > 0 {
 		return x.ContMsgRcvSlow
@@ -448,25 +479,65 @@ func (x *IPC) popWaiter(p *Port) *core.Thread {
 }
 
 // popWaiterList consumes the first live registration on any waiter list.
+// The consumed prefix is shifted out in place (the backing array is
+// reused by later pushes) and its registrations go back to the free list.
 func (x *IPC) popWaiterList(list *[]*rcvWaiter) *core.Thread {
-	for len(*list) > 0 {
-		w := (*list)[0]
-		*list = (*list)[1:]
+	q := *list
+	n := 0
+	var res *core.Thread
+	for n < len(q) {
+		w := q[n]
+		n++
 		if w.cancelled || w.t.State != core.StateWaiting {
+			x.freeWaiter(w)
 			continue
 		}
 		w.cancelled = true
 		if w.timeout != nil {
 			x.K.Clock.Cancel(w.timeout)
+			w.timeout = nil
 		}
-		return w.t
+		res = w.t
+		x.freeWaiter(w)
+		break
 	}
-	return nil
+	if n > 0 {
+		m := copy(q, q[n:])
+		for i := m; i < len(q); i++ {
+			q[i] = nil
+		}
+		*list = q[:m]
+	}
+	return res
+}
+
+// newWaiter takes a registration from the free list, or allocates one.
+func (x *IPC) newWaiter(t *core.Thread) *rcvWaiter {
+	if n := len(x.waiterFree); n > 0 {
+		w := x.waiterFree[n-1]
+		x.waiterFree[n-1] = nil
+		x.waiterFree = x.waiterFree[:n-1]
+		w.t = t
+		return w
+	}
+	return &rcvWaiter{t: t}
+}
+
+// freeWaiter recycles a registration that has left its waiter list. A
+// registration whose timeout is still armed is left to the garbage
+// collector: the timeout closure holds a reference, and recycling it
+// would let a stale timer cancel an unrelated waiter.
+func (x *IPC) freeWaiter(w *rcvWaiter) {
+	if w.timeout != nil {
+		return
+	}
+	*w = rcvWaiter{}
+	x.waiterFree = append(x.waiterFree, w)
 }
 
 // push registers t as a receive waiter on p (the source interface).
-func (p *Port) push(t *core.Thread) *rcvWaiter {
-	w := &rcvWaiter{t: t}
+func (p *Port) push(x *IPC, t *core.Thread) *rcvWaiter {
+	w := x.newWaiter(t)
 	p.waiters = append(p.waiters, w)
 	return w
 }
@@ -522,7 +593,10 @@ func (x *IPC) send(e *core.Env, opts MsgOptions, src source) {
 	}
 
 	if dest.KernelSink != nil {
-		dest.KernelSink(e, msg, &opts)
+		// Copy before taking the address: &opts would make every send heap-
+		// allocate its options, sink or no sink.
+		o := opts
+		dest.KernelSink(e, msg, &o)
 		panic("ipc: kernel sink returned instead of transferring control")
 	}
 
@@ -561,7 +635,7 @@ func (x *IPC) send(e *core.Env, opts MsgOptions, src source) {
 				maxSize := opts.MaxSize
 				t.State = core.StateWaiting
 				t.WaitLabel = "mach_msg receive"
-				w := src.push(t)
+				w := src.push(x, t)
 				x.armTimeout(w, opts.RcvTimeout)
 				k.BlockDirected(e, stats.BlockReceive,
 					func(e2 *core.Env) { x.resumeReceive(e2, src, maxSize) },
@@ -619,7 +693,7 @@ func (x *IPC) blockFullQueue(e *core.Env, dest *Port, opts MsgOptions) {
 	}
 	t.Scratch.PutWord(3, uint32(opts.MaxSize))
 	t.Scratch.PutRef(4, opts.SndTimeout)
-	w := &rcvWaiter{t: t}
+	w := x.newWaiter(t)
 	dest.sendWaiters = append(dest.sendWaiters, w)
 	if d := opts.SndTimeout; d != 0 {
 		w.timeout = x.K.Clock.After(d, "mach_msg-snd-timeout", func() {
@@ -634,7 +708,7 @@ func (x *IPC) blockFullQueue(e *core.Env, dest *Port, opts MsgOptions) {
 	t.State = core.StateWaiting
 	t.WaitLabel = "mach_msg send (queue full)"
 	x.K.Block(e, stats.BlockReceive, x.ContMsgSendRetry,
-		func(e2 *core.Env) { x.msgSendRetry(e2) }, 224, "send-queue-full")
+		x.msgSendRetryFn, 224, "send-queue-full")
 }
 
 // msgSendRetry resumes a sender that blocked on a full queue: rebuild the
@@ -666,18 +740,30 @@ func (x *IPC) msgSendRetry(e *core.Env) {
 
 // wakeSender releases one blocked sender now that the queue has room.
 func (x *IPC) wakeSender(p *Port) {
-	for len(p.sendWaiters) > 0 {
-		w := p.sendWaiters[0]
-		p.sendWaiters = p.sendWaiters[1:]
+	q := p.sendWaiters
+	n := 0
+	for n < len(q) {
+		w := q[n]
+		n++
 		if w.cancelled || w.t.State != core.StateWaiting {
+			x.freeWaiter(w)
 			continue
 		}
 		w.cancelled = true
 		if w.timeout != nil {
 			x.K.Clock.Cancel(w.timeout)
+			w.timeout = nil
 		}
 		x.K.Setrun(w.t)
-		return
+		x.freeWaiter(w)
+		break
+	}
+	if n > 0 {
+		m := copy(q, q[n:])
+		for i := m; i < len(q); i++ {
+			q[i] = nil
+		}
+		p.sendWaiters = q[:m]
 	}
 }
 
@@ -784,7 +870,7 @@ func (x *IPC) sendHandoff(e *core.Env, opts MsgOptions, src source, recv *core.T
 	// message. Stash the receive parameters in the 28-byte scratch area
 	// and hand the stack to the receiver.
 	x.saveReceiveState(t, src, opts.MaxSize)
-	w := src.push(t)
+	w := src.push(x, t)
 	x.armTimeout(w, opts.RcvTimeout)
 	t.State = core.StateWaiting
 	t.WaitLabel = "mach_msg receive"
@@ -843,7 +929,7 @@ func (x *IPC) receive(e *core.Env, src source, maxSize int, timeout machine.Dura
 	// path with mach_msg_continue; a size-constrained receive blocks with
 	// the slow continuation.
 	x.saveReceiveState(t, src, maxSize)
-	w := src.push(t)
+	w := src.push(x, t)
 	x.armTimeout(w, timeout)
 	t.State = core.StateWaiting
 	t.WaitLabel = "mach_msg receive"
@@ -851,9 +937,14 @@ func (x *IPC) receive(e *core.Env, src source, maxSize int, timeout machine.Dura
 	if maxSize > 0 {
 		cont = x.ContMsgRcvSlow
 	}
-	x.K.Block(e, stats.BlockReceive, cont,
-		func(e2 *core.Env) { x.resumeReceive(e2, src, maxSize) },
-		192, "mach_msg")
+	// A continuation kernel blocks with cont and never runs the resume
+	// step; building the closure only when it can be used keeps the MK40
+	// receive path allocation-free.
+	var resume func(*core.Env)
+	if !x.K.UseContinuations {
+		resume = func(e2 *core.Env) { x.resumeReceive(e2, src, maxSize) }
+	}
+	x.K.Block(e, stats.BlockReceive, cont, resume, 192, "mach_msg")
 }
 
 // resumeReceive is the process-model resumption of a blocked receive.

@@ -18,8 +18,8 @@ type source interface {
 	// pull dequeues the next message, charging costs and releasing a
 	// blocked sender if room opened; nil when empty.
 	pull(x *IPC, e *core.Env) *Message
-	// push registers a receive waiter.
-	push(t *core.Thread) *rcvWaiter
+	// push registers a receive waiter (x supplies the registration pool).
+	push(x *IPC, t *core.Thread) *rcvWaiter
 	// srcName labels the source for traces.
 	srcName() string
 }
@@ -110,8 +110,8 @@ func (ps *PortSet) pull(x *IPC, e *core.Env) *Message {
 	return nil
 }
 
-func (ps *PortSet) push(t *core.Thread) *rcvWaiter {
-	w := &rcvWaiter{t: t}
+func (ps *PortSet) push(x *IPC, t *core.Thread) *rcvWaiter {
+	w := x.newWaiter(t)
 	ps.waiters = append(ps.waiters, w)
 	return w
 }
@@ -131,7 +131,9 @@ func (p *Port) pull(x *IPC, e *core.Env) *Message {
 		return nil
 	}
 	m := p.queue[0]
-	p.queue = p.queue[1:]
+	n := copy(p.queue, p.queue[1:])
+	p.queue[n] = nil
+	p.queue = p.queue[:n]
 	p.Dequeued++
 	e.Charge(dequeueCost)
 	e.Charge(reparseCost)

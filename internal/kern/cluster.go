@@ -8,13 +8,22 @@ import (
 // independent but whose NICs are cross-wired: a transmit on one machine
 // schedules an arrival on the peer's clock at an absolute time.
 //
-// The stepping rule keeps delivery deterministic: a machine's clock never
-// advances past "now" while any machine still has work at its present
-// time, and when every machine is idle the one with the earliest pending
-// event advances. This is a conservative two-clock discretization — no
-// machine can observe an event from the future of another.
+// Two drivers are available. Step interleaves the machines one dispatcher
+// action at a time (the legacy two-clock rule); Drive runs conservative
+// rounds against a safe horizon — the earliest instant any cross-machine
+// packet could arrive — letting every machine simulate independently up
+// to the horizon, then exchanging the buffered packets at a barrier. With
+// parallel=true the rounds run one goroutine per machine; the results are
+// byte-identical either way, because a round's execution never lets one
+// machine observe another's state and the barrier merge is ordered by
+// machine index, NIC index and emission counter, never by goroutine
+// timing.
 type Cluster struct {
 	Systems []*System
+
+	// order is the reusable sorted view of Step: hoisted here so the
+	// per-step sort allocates nothing.
+	order []*System
 }
 
 // NewCluster groups machines for lockstep driving.
@@ -28,8 +37,11 @@ func NewCluster(systems ...*System) *Cluster {
 // the earliest pending event advances its clock and fires it. Returns
 // false when no machine can make progress.
 func (c *Cluster) Step(withBackground bool) bool {
+	if cap(c.order) < len(c.Systems) {
+		c.order = make([]*System, len(c.Systems))
+	}
 	// Work at the present, earliest clock first.
-	order := make([]*System, len(c.Systems))
+	order := c.order[:len(c.Systems)]
 	copy(order, c.Systems)
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0 && order[j].K.Clock.Now() < order[j-1].K.Clock.Now(); j-- {
@@ -67,8 +79,8 @@ func (c *Cluster) Step(withBackground bool) bool {
 	return false
 }
 
-// Run steps the cluster until no machine can progress or every clock has
-// reached the deadline. Returns total steps taken.
+// Run steps the cluster sequentially until no machine can progress or
+// every clock has reached the deadline. Returns total steps taken.
 func (c *Cluster) Run(deadline machine.Time) uint64 {
 	var steps uint64
 	for {
@@ -88,3 +100,149 @@ func (c *Cluster) Run(deadline machine.Time) uint64 {
 		steps++
 	}
 }
+
+// maxTime is the horizon used when no wire couples the machines: each is
+// free to run to quiescence.
+const maxTime = ^machine.Time(0)
+
+// minWire returns the smallest one-way latency of any connected NIC in
+// the cluster — the lookahead of the conservative horizon — and false
+// when no NIC is connected.
+func (c *Cluster) minWire() (machine.Duration, bool) {
+	var wire machine.Duration
+	have := false
+	for _, s := range c.Systems {
+		for _, n := range s.Dev.NICs() {
+			if n.Peer() == nil {
+				continue
+			}
+			if !have || n.Wire < wire {
+				wire, have = n.Wire, true
+			}
+		}
+	}
+	return wire, have
+}
+
+// nextActivity returns the earliest simulated time at which the machine
+// could next execute anything (and therefore transmit): its own clock
+// when it has work at the present, otherwise its next pending event. A
+// machine with only background events reports false — the Step(false)
+// quiescence rule.
+func nextActivity(s *System) (machine.Time, bool) {
+	k := s.K
+	if k.HasPresentWork() {
+		return k.Clock.Now(), true
+	}
+	if !k.Clock.HasForeground() {
+		return 0, false
+	}
+	return k.Clock.NextEventTime()
+}
+
+// horizon computes the next round's safe horizon: no cross-machine packet
+// can arrive before the earliest machine activity plus the smallest wire
+// latency. Returns false when every machine is quiescent.
+func (c *Cluster) horizon() (machine.Time, bool) {
+	var earliest machine.Time
+	have := false
+	for _, s := range c.Systems {
+		at, ok := nextActivity(s)
+		if ok && (!have || at < earliest) {
+			earliest, have = at, true
+		}
+	}
+	if !have {
+		return 0, false
+	}
+	wire, haveWire := c.minWire()
+	if !haveWire || earliest > maxTime-wire {
+		return maxTime, true
+	}
+	return earliest + wire, true
+}
+
+// flush delivers every packet buffered during a round, in machine-index,
+// NIC-index, emission order. The arrival events' heap positions are fixed
+// by their ScheduleRemote keys, so this order is a convention, not a
+// correctness requirement. Single-threaded.
+func (c *Cluster) flush() int {
+	delivered := 0
+	for _, s := range c.Systems {
+		for _, n := range s.Dev.NICs() {
+			delivered += n.FlushDeferred()
+		}
+	}
+	return delivered
+}
+
+// setDeferred switches every NIC between immediate and barrier delivery.
+func (c *Cluster) setDeferred(on bool) {
+	for _, s := range c.Systems {
+		for _, n := range s.Dev.NICs() {
+			n.SetDeferred(on)
+		}
+	}
+}
+
+// Drive runs the cluster to quiescence with the horizon-round driver and
+// returns total dispatcher steps taken. With parallel=true each round
+// runs the machines on their own goroutines; with parallel=false the same
+// rounds run inline. Output is byte-identical across the two modes and
+// any GOMAXPROCS value.
+func (c *Cluster) Drive(parallel bool) uint64 {
+	c.setDeferred(true)
+	defer c.setDeferred(false)
+
+	var work []chan machine.Time
+	var results chan uint64
+	if parallel && len(c.Systems) > 1 {
+		work = make([]chan machine.Time, len(c.Systems))
+		results = make(chan uint64, len(c.Systems))
+		for i, s := range c.Systems {
+			ch := make(chan machine.Time)
+			work[i] = ch
+			go func(s *System, ch chan machine.Time) {
+				for h := range ch {
+					results <- s.K.RunHorizon(h)
+				}
+			}(s, ch)
+		}
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+	}
+
+	var total uint64
+	for {
+		h, ok := c.horizon()
+		if !ok {
+			return total
+		}
+		if work != nil {
+			for _, ch := range work {
+				ch <- h
+			}
+			for range c.Systems {
+				total += <-results
+			}
+		} else {
+			for _, s := range c.Systems {
+				total += s.K.RunHorizon(h)
+			}
+		}
+		c.flush()
+	}
+}
+
+// MinWireForTest exposes the lookahead for tests.
+func (c *Cluster) MinWireForTest() (machine.Duration, bool) { return c.minWire() }
+
+// HorizonForTest, FlushForTest and SetDeferredForTest expose the round
+// primitives so driver-level tests can replay Drive's loop by hand and
+// measure per-round, per-machine work.
+func (c *Cluster) HorizonForTest() (machine.Time, bool) { return c.horizon() }
+func (c *Cluster) FlushForTest() int                    { return c.flush() }
+func (c *Cluster) SetDeferredForTest(on bool)           { c.setDeferred(on) }

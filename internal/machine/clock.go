@@ -116,6 +116,27 @@ func (c *Clock) Schedule(when Time, label string, fn func()) *Event {
 	return e
 }
 
+// remoteBand is the high bit of the tie-break sequence. Local events use
+// the clock's own counter (always below the band); events scheduled by a
+// remote machine carry a caller-supplied key raised into the band, so at
+// equal When every remote arrival orders after every local event, and
+// remote arrivals order among themselves by key alone. That makes the
+// heap order a function of the machine's own history plus the wire
+// traffic — independent of which driver (sequential or parallel) found
+// out about the arrival first.
+const remoteBand = uint64(1) << 63
+
+// ScheduleRemote registers an event originating on another machine. key
+// must be unique among pending remote events and deterministic for the
+// packet it represents (the cluster drivers build it from the receiving
+// NIC's index and the sender's emission counter).
+func (c *Clock) ScheduleRemote(when Time, key uint64, label string, fn func()) *Event {
+	e := &Event{When: when, Fire: fn, Label: label, seq: remoteBand | key}
+	heap.Push(&c.events, e)
+	c.foreground++
+	return e
+}
+
 // After registers fn to fire d nanoseconds from now.
 func (c *Clock) After(d Duration, label string, fn func()) *Event {
 	return c.Schedule(c.now+d, label, fn)

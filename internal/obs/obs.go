@@ -357,7 +357,10 @@ func NewReplay() *Recorder { return newRecorder(0) }
 func newRecorder(capacity int) *Recorder {
 	r := &Recorder{
 		capacity: capacity,
-		conts:    make(map[string]*ContProfile),
+		// Full-capacity ring up front: growing it with append would make
+		// early emits allocate on the dispatch path.
+		ring:  make([]Event, 0, capacity),
+		conts: make(map[string]*ContProfile),
 	}
 	for i := range r.Hist {
 		r.Hist[i] = &Histogram{Name: Latency(i).String()}

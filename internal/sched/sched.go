@@ -7,6 +7,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -20,13 +21,56 @@ const NumPriorities = 32
 // Mach.
 const DefaultQuantum = machine.Duration(100 * 1000 * 1000)
 
+// ring is a FIFO deque of threads over a power-of-two circular buffer:
+// O(1) push and pop with no element shifting, growing only when full.
+type ring struct {
+	buf  []*core.Thread
+	head int
+	n    int
+}
+
+func (r *ring) push(t *core.Thread) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *ring) pop() *core.Thread {
+	t := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return t
+}
+
+func (r *ring) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*core.Thread, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // RunQueue is a global multi-level run queue. The simulator executes
-// processors one dispatcher step at a time from a single OS thread, so no
-// locking is needed; on a real multiprocessor this structure would be the
+// processors one dispatcher step at a time from a single OS thread (each
+// parallel-cluster machine has its own RunQueue), so no locking is
+// needed; on a real multiprocessor this structure would be the
 // lock-protected global queue of early Mach.
+//
+// Each priority level is a ring buffer and a bit in mask records which
+// levels are nonempty, so Setrun, SelectThread and MaxQueuedPriority are
+// all O(1): the highest occupied level is 31 - bits.LeadingZeros32(mask).
 type RunQueue struct {
 	quantum machine.Duration
-	queues  [NumPriorities][]*core.Thread
+	queues  [NumPriorities]ring
+	mask    uint32
 	count   int
 
 	// Enqueues and Dequeues count queue traffic, useful for verifying
@@ -64,7 +108,8 @@ func (q *RunQueue) Setrun(t *core.Thread) {
 	if p >= NumPriorities {
 		p = NumPriorities - 1
 	}
-	q.queues[p] = append(q.queues[p], t)
+	q.queues[p].push(t)
+	q.mask |= 1 << uint(p)
 	q.count++
 	q.Enqueues++
 	if q.count > q.HighWater {
@@ -75,22 +120,18 @@ func (q *RunQueue) Setrun(t *core.Thread) {
 // SelectThread implements core.Scheduler: highest priority first, FIFO
 // within a level, nil when empty.
 func (q *RunQueue) SelectThread(p *core.Processor) *core.Thread {
-	if q.count == 0 {
+	if q.mask == 0 {
 		return nil
 	}
-	for pri := NumPriorities - 1; pri >= 0; pri-- {
-		level := q.queues[pri]
-		if len(level) == 0 {
-			continue
-		}
-		t := level[0]
-		copy(level, level[1:])
-		q.queues[pri] = level[:len(level)-1]
-		q.count--
-		q.Dequeues++
-		return t
+	pri := bits.Len32(q.mask) - 1
+	level := &q.queues[pri]
+	t := level.pop()
+	if level.n == 0 {
+		q.mask &^= 1 << uint(pri)
 	}
-	return nil
+	q.count--
+	q.Dequeues++
+	return t
 }
 
 // HasWork implements core.Scheduler.
@@ -98,15 +139,10 @@ func (q *RunQueue) HasWork() bool { return q.count > 0 }
 
 // MaxQueuedPriority implements core.Scheduler.
 func (q *RunQueue) MaxQueuedPriority() (int, bool) {
-	if q.count == 0 {
+	if q.mask == 0 {
 		return 0, false
 	}
-	for pri := NumPriorities - 1; pri >= 0; pri-- {
-		if len(q.queues[pri]) > 0 {
-			return pri, true
-		}
-	}
-	return 0, false
+	return bits.Len32(q.mask) - 1, true
 }
 
 // Len reports the number of queued threads.

@@ -91,6 +91,103 @@ func TestQueueCounters(t *testing.T) {
 	}
 }
 
+// refQueue is the pre-ring-buffer RunQueue (append + copy(level, level[1:])
+// shifting, linear level scans), kept here as the behavioral oracle for the
+// O(1) implementation.
+type refQueue struct {
+	queues    [NumPriorities][]*core.Thread
+	count     int
+	enqueues  uint64
+	dequeues  uint64
+	highWater int
+}
+
+func (q *refQueue) setrun(t *core.Thread) {
+	p := t.Priority
+	if p < 0 {
+		p = 0
+	}
+	if p >= NumPriorities {
+		p = NumPriorities - 1
+	}
+	q.queues[p] = append(q.queues[p], t)
+	q.count++
+	q.enqueues++
+	if q.count > q.highWater {
+		q.highWater = q.count
+	}
+}
+
+func (q *refQueue) selectThread() *core.Thread {
+	for pri := NumPriorities - 1; pri >= 0; pri-- {
+		level := q.queues[pri]
+		if len(level) == 0 {
+			continue
+		}
+		t := level[0]
+		copy(level, level[1:])
+		q.queues[pri] = level[:len(level)-1]
+		q.count--
+		q.dequeues++
+		return t
+	}
+	return nil
+}
+
+func (q *refQueue) maxQueuedPriority() (int, bool) {
+	for pri := NumPriorities - 1; pri >= 0; pri-- {
+		if len(q.queues[pri]) > 0 {
+			return pri, true
+		}
+	}
+	return 0, false
+}
+
+// TestRingMatchesReference hammers the ring-buffer queue and the legacy
+// slice queue with an identical interleaved workload and demands identical
+// pop order, counters and priority reports at every step.
+func TestRingMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1991))
+	q := New(0)
+	ref := &refQueue{}
+	for op := 0; op < 20000; op++ {
+		// Biased coin: bursts of enqueues, then drains.
+		if rng.Intn(3) != 0 || q.Len() == 0 {
+			th := runnable(rng.Intn(NumPriorities+6) - 3)
+			q.Setrun(th)
+			ref.setrun(th)
+		} else {
+			got, want := q.SelectThread(nil), ref.selectThread()
+			if got != want {
+				t.Fatalf("op %d: SelectThread ring=%p ref=%p", op, got, want)
+			}
+		}
+		if q.Len() != ref.count {
+			t.Fatalf("op %d: Len ring=%d ref=%d", op, q.Len(), ref.count)
+		}
+		gp, gok := q.MaxQueuedPriority()
+		wp, wok := ref.maxQueuedPriority()
+		if gp != wp || gok != wok {
+			t.Fatalf("op %d: MaxQueuedPriority ring=(%d,%v) ref=(%d,%v)", op, gp, gok, wp, wok)
+		}
+		if q.HasWork() != (ref.count > 0) {
+			t.Fatalf("op %d: HasWork mismatch", op)
+		}
+	}
+	for q.HasWork() {
+		if got, want := q.SelectThread(nil), ref.selectThread(); got != want {
+			t.Fatalf("drain: ring=%p ref=%p", got, want)
+		}
+	}
+	if ref.selectThread() != nil {
+		t.Fatal("reference not drained")
+	}
+	if q.Enqueues != ref.enqueues || q.Dequeues != ref.dequeues || q.HighWater != ref.highWater {
+		t.Fatalf("counters: ring=(%d,%d,%d) ref=(%d,%d,%d)",
+			q.Enqueues, q.Dequeues, q.HighWater, ref.enqueues, ref.dequeues, ref.highWater)
+	}
+}
+
 // Property: every enqueued thread is dequeued exactly once, and dequeue
 // order respects priority.
 func TestQueueProperty(t *testing.T) {

@@ -10,6 +10,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/dev"
 	"repro/internal/fault"
@@ -39,6 +41,22 @@ type NetRPCSpec struct {
 	// reliable seq/ack protocol.
 	FaultSeed uint64
 	FaultSpec fault.Spec
+
+	// Pairs is the number of client/server machine pairs in the cluster
+	// (default 1): the cluster simulates 2*Pairs machines. Pair i's
+	// machines draw fault seeds FaultSeed+2i and FaultSeed+2i+1, so pair 0
+	// matches the historical two-machine run exactly.
+	Pairs int
+
+	// Clients is the number of client threads per client machine (default
+	// 1), each completing RPCs round trips. More clients keep more RPCs in
+	// flight per wire-latency window, raising per-machine work per
+	// horizon round.
+	Clients int
+
+	// Parallel runs the cluster's horizon rounds with one goroutine per
+	// machine. Results are byte-identical to the sequential rounds.
+	Parallel bool
 
 	// DebugChecks arms the kernel invariant sweep after every dispatch
 	// on both machines.
@@ -83,12 +101,17 @@ func LossyNetRPC() NetRPCSpec {
 
 // NetRPCResult reports one cross-machine run.
 type NetRPCResult struct {
-	// Client and Server are the two booted machines, A and B.
+	// Client and Server are pair 0's machines, A and B.
 	Client *kern.System
 	Server *kern.System
 
-	// Completed is the echo round trips finished; DiskReadsDone the
-	// device_read calls completed on each machine (client, server order).
+	// Machines lists every booted machine, client/server interleaved
+	// (pair i occupies indices 2i and 2i+1).
+	Machines []*kern.System
+
+	// Completed is the echo round trips finished across all clients;
+	// DiskReadsDone the device_read calls completed on pair 0's machines
+	// (client, server order).
 	Completed     int
 	DiskReadsDone [2]int
 
@@ -99,33 +122,44 @@ type NetRPCResult struct {
 	Steps uint64
 }
 
-// netEchoServer answers echo RPCs arriving through the netmsg thread.
+// netEchoServer answers echo RPCs arriving through the netmsg thread. Its
+// syscall actions are built once; a closure per action would allocate on
+// every step of the cluster benchmarks.
 type netEchoServer struct {
 	sys     *kern.System
 	port    *ipc.Port
 	pending *ipc.Message
 	handled int
+
+	recvAct  core.Action
+	replyAct core.Action
 }
 
 func (s *netEchoServer) Next(e *core.Env, t *core.Thread) core.Action {
+	if s.recvAct.Invoke == nil {
+		s.recvAct = core.Syscall("mach_msg(receive)", func(e *core.Env) {
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
+		})
+		s.replyAct = core.Syscall("mach_msg(reply+receive)", func(e *core.Env) {
+			req := s.pending
+			s.pending = nil
+			op, size, body, to := req.OpID, req.Size, req.Body, req.Reply
+			s.sys.IPC.FreeMessage(req)
+			// to is a netmsg proxy: this send becomes a packet home.
+			reply := s.sys.IPC.NewMessage(op|0x8000, size, body, nil)
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: reply, SendTo: to, ReceiveFrom: s.port,
+			})
+		})
+	}
 	if m := s.sys.IPC.Received(t); m != nil {
 		s.pending = m
 	}
 	if s.pending == nil {
-		return core.Syscall("mach_msg(receive)", func(e *core.Env) {
-			s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
-		})
+		return s.recvAct
 	}
-	req := s.pending
-	s.pending = nil
 	s.handled++
-	return core.Syscall("mach_msg(reply+receive)", func(e *core.Env) {
-		// req.Reply is a netmsg proxy: this send becomes a packet home.
-		reply := s.sys.IPC.NewMessage(req.OpID|0x8000, req.Size, req.Body, nil)
-		s.sys.IPC.MachMsg(e, ipc.MsgOptions{
-			Send: reply, SendTo: req.Reply, ReceiveFrom: s.port,
-		})
-	})
+	return s.replyAct
 }
 
 // netClient issues echo RPCs to the remote machine via a proxy port.
@@ -136,21 +170,27 @@ type netClient struct {
 	bytes int
 	rpcs  int
 	done  int
+
+	rpcAct core.Action
 }
 
 func (c *netClient) Next(e *core.Env, t *core.Thread) core.Action {
+	if c.rpcAct.Invoke == nil {
+		c.rpcAct = core.Syscall("mach_msg(net-rpc)", func(e *core.Env) {
+			req := c.sys.IPC.NewMessage(1, c.bytes, nil, c.reply)
+			c.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: req, SendTo: c.proxy, ReceiveFrom: c.reply,
+			})
+		})
+	}
 	if m := c.sys.IPC.Received(t); m != nil {
 		c.done++
+		c.sys.IPC.FreeMessage(m)
 	}
 	if c.done >= c.rpcs {
 		return core.Exit()
 	}
-	return core.Syscall("mach_msg(net-rpc)", func(e *core.Env) {
-		req := c.sys.IPC.NewMessage(1, c.bytes, nil, c.reply)
-		c.sys.IPC.MachMsg(e, ipc.MsgOptions{
-			Send: req, SendTo: c.proxy, ReceiveFrom: c.reply,
-		})
-	})
+	return c.rpcAct
 }
 
 // diskReader issues back-to-back device_read calls against the paging
@@ -162,6 +202,8 @@ type diskReader struct {
 	bytes int
 	reads int
 	done  int
+
+	readAct core.Action
 }
 
 func (r *diskReader) Next(e *core.Env, t *core.Thread) core.Action {
@@ -169,72 +211,118 @@ func (r *diskReader) Next(e *core.Env, t *core.Thread) core.Action {
 		return core.Exit()
 	}
 	r.done++
-	return core.Syscall("device_read", func(e *core.Env) {
-		d := r.sys.Dev.Open(e, r.disk.Name)
-		r.sys.Dev.DeviceRead(e, d, r.bytes)
-	})
+	if r.readAct.Invoke == nil {
+		r.readAct = core.Syscall("device_read", func(e *core.Env) {
+			d := r.sys.Dev.Open(e, r.disk.Name)
+			r.sys.Dev.DeviceRead(e, d, r.bytes)
+		})
+	}
+	return r.readAct
 }
 
-// RunNetRPC boots two machines, wires their NICs together, and drives the
-// cluster until the client has completed its RPCs and both disk readers
-// have drained (or no machine can progress). Fully deterministic.
+// RunNetRPC boots 2*Pairs machines, wires each pair's NICs together, and
+// drives the cluster until every client has completed its RPCs and the
+// disk readers have drained (or no machine can progress). Fully
+// deterministic: with the same spec the run is byte-identical regardless
+// of spec.Parallel or GOMAXPROCS.
 func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCResult {
+	res, clis, pair0Readers := bootNetRPC(flavor, arch, spec)
+	cluster := kern.NewCluster(res.Machines...)
+	start := res.Client.K.Clock.Now()
+	res.Steps = cluster.Drive(spec.Parallel)
+	for _, cli := range clis {
+		res.Completed += cli.done
+	}
+	for i, rd := range pair0Readers {
+		res.DiskReadsDone[i] = rd.done
+	}
+	res.Elapsed = machine.Duration(res.Client.K.Clock.Now() - start)
+	return res
+}
+
+// bootNetRPC builds the cluster's machines and threads without driving
+// them: RunNetRPC's setup phase, shared with the driver-level tests.
+func bootNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) (*NetRPCResult, []*netClient, []*diskReader) {
 	cfg := kern.Config{Flavor: flavor, Arch: arch, DiskLatency: spec.DiskLatency}
-	a := kern.New(cfg)
-	b := kern.New(cfg)
-	dev.Connect(a.Net.NIC, b.Net.NIC, spec.Wire)
-	a.InjectFaults(spec.FaultSeed, spec.FaultSpec)
-	b.InjectFaults(spec.FaultSeed+1, spec.FaultSpec)
-	if spec.DebugChecks {
-		a.K.DebugChecks = true
-		b.K.DebugChecks = true
+	pairs := spec.Pairs
+	if pairs <= 0 {
+		pairs = 1
 	}
-	if spec.Observe {
-		a.EnableObservation(0)
-		b.EnableObservation(0)
+	clients := spec.Clients
+	if clients <= 0 {
+		clients = 1
 	}
-
-	// Echo server on machine B, reachable from the wire as "echo".
-	st := b.NewTask("echo-server")
-	sport := b.IPC.NewPort("echo")
-	b.Net.Export("echo", sport)
-	srv := &netEchoServer{sys: b, port: sport}
-	b.Start(st.NewThread("srv", srv, 20))
-
-	// Client on machine A, talking to B through a proxy port. Its reply
-	// port is exported automatically on the first forwarded send.
-	ct := a.NewTask("net-client")
-	reply := a.IPC.NewPort("echo-reply")
 	msgBytes := spec.MsgBytes
 	if msgBytes < ipc.HeaderBytes {
 		msgBytes = ipc.HeaderBytes
 	}
-	cli := &netClient{sys: a, proxy: a.Net.ProxyFor("echo"), reply: reply,
-		bytes: msgBytes, rpcs: spec.RPCs}
-	a.Start(ct.NewThread("cli", cli, 10))
 
-	// One disk reader per machine.
+	res := &NetRPCResult{}
+	var clis []*netClient
 	var readers []*diskReader
-	if spec.DiskReads > 0 {
-		for _, sys := range []*kern.System{a, b} {
-			task := sys.NewTask("disk-reader")
-			rd := &diskReader{sys: sys, disk: sys.Disk,
-				bytes: spec.DiskReadBytes, reads: spec.DiskReads}
-			readers = append(readers, rd)
-			sys.Start(task.NewThread("rd", rd, 12))
+	var pair0Readers []*diskReader
+	for i := 0; i < pairs; i++ {
+		a := kern.New(cfg)
+		b := kern.New(cfg)
+		dev.Connect(a.Net.NIC, b.Net.NIC, spec.Wire)
+		a.InjectFaults(spec.FaultSeed+uint64(2*i), spec.FaultSpec)
+		b.InjectFaults(spec.FaultSeed+uint64(2*i)+1, spec.FaultSpec)
+		if spec.DebugChecks {
+			a.K.DebugChecks = true
+			b.K.DebugChecks = true
 		}
+		if spec.Observe {
+			a.EnableObservation(0)
+			b.EnableObservation(0)
+		}
+
+		// Echo server on machine B, reachable from the wire as "echo".
+		st := b.NewTask("echo-server")
+		sport := b.IPC.NewPort("echo")
+		if clients > 1 {
+			// Many clients can land requests in the same wire-latency
+			// window; the default queue limit would force senders into
+			// the full-queue backoff path and serialize them.
+			sport.QueueLimit = 2 * clients
+		}
+		b.Net.Export("echo", sport)
+		srv := &netEchoServer{sys: b, port: sport}
+		b.Start(st.NewThread("srv", srv, 20))
+
+		// Clients on machine A, talking to B through a proxy port. Each
+		// needs its own reply port (netmsg auto-export is name-keyed);
+		// client 0 keeps the historical names so single-client runs are
+		// byte-identical to the old two-machine driver.
+		ct := a.NewTask("net-client")
+		for j := 0; j < clients; j++ {
+			replyName, threadName := "echo-reply", "cli"
+			if j > 0 {
+				replyName = fmt.Sprintf("echo-reply-%d", j)
+				threadName = fmt.Sprintf("cli-%d", j)
+			}
+			cli := &netClient{sys: a, proxy: a.Net.ProxyFor("echo"),
+				reply: a.IPC.NewPort(replyName), bytes: msgBytes, rpcs: spec.RPCs}
+			clis = append(clis, cli)
+			a.Start(ct.NewThread(threadName, cli, 10))
+		}
+
+		// One disk reader per machine.
+		if spec.DiskReads > 0 {
+			for _, sys := range []*kern.System{a, b} {
+				task := sys.NewTask("disk-reader")
+				rd := &diskReader{sys: sys, disk: sys.Disk,
+					bytes: spec.DiskReadBytes, reads: spec.DiskReads}
+				readers = append(readers, rd)
+				if i == 0 {
+					pair0Readers = append(pair0Readers, rd)
+				}
+				sys.Start(task.NewThread("rd", rd, 12))
+			}
+		}
+
+		res.Machines = append(res.Machines, a, b)
 	}
 
-	cluster := kern.NewCluster(a, b)
-	res := &NetRPCResult{Client: a, Server: b}
-	start := a.K.Clock.Now()
-	for cluster.Step(false) {
-		res.Steps++
-	}
-	res.Completed = cli.done
-	for i, rd := range readers {
-		res.DiskReadsDone[i] = rd.done
-	}
-	res.Elapsed = machine.Duration(a.K.Clock.Now() - start)
-	return res
+	res.Client, res.Server = res.Machines[0], res.Machines[1]
+	return res, clis, pair0Readers
 }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// NetRPCReportOptions controls the optional sections of the netrpc
+// report. Faults mirrors machsim's -faults flag being present; Check its
+// -check flag (and additionally runs the final invariant sweep).
+type NetRPCReportOptions struct {
+	Faults bool
+	Check  bool
+}
+
+// WriteNetRPCReport prints the per-machine block tables plus the device
+// subsystem counters for a RunNetRPC result, in machsim's output format.
+// The output is a pure function of the run, so two runs of the same spec
+// can be compared byte-for-byte regardless of spec.Parallel or
+// GOMAXPROCS.
+func WriteNetRPCReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *NetRPCResult, opt NetRPCReportOptions) {
+	fmt.Fprintf(w, "NetRPC on %v/%v — %d cross-machine RPCs completed in %.2f simulated ms (%d cluster steps)\n",
+		flavor, arch, res.Completed, float64(res.Elapsed)/1e6, res.Steps)
+
+	for i, sys := range res.Machines {
+		name := machineName(i, len(res.Machines))
+		st := sys.K.Stats
+		total := st.TotalBlocks()
+		fmt.Fprintf(w, "\n%s — %d blocking operations\n", name, total)
+		fmt.Fprintf(w, "%-20s %12s %8s\n", "operation", "blocks", "%")
+		for _, r := range stats.DiscardReasons {
+			n := st.BlocksWithDiscard[r]
+			fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", r, n, stats.Percent(n, total))
+		}
+		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "total stack discards",
+			st.TotalDiscards(), stats.Percent(st.TotalDiscards(), total))
+		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "no stack discards",
+			st.TotalNoDiscards(), stats.Percent(st.TotalNoDiscards(), total))
+		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "stack handoff", st.Handoffs,
+			stats.Percent(st.Handoffs, total))
+		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "recognition", st.Recognitions,
+			stats.Percent(st.Recognitions, total))
+
+		fmt.Fprintf(w, "\n  devices:\n")
+		fmt.Fprintf(w, "    interrupts taken          %8d (all on the current stack)\n", st.Interrupts)
+		hc := sys.Dev.HandlerCost
+		fmt.Fprintf(w, "    handler cycles            %8d instrs, %d loads, %d stores\n",
+			hc.Instrs, hc.Loads, hc.Stores)
+		fmt.Fprintf(w, "    io_done handoffs          %8d, recognitions %d\n",
+			sys.Dev.IoDoneHandoffs, st.IoDoneRecognitions)
+		for _, d := range sys.Dev.Devices() {
+			fmt.Fprintf(w, "    %-8s requests         %8d, interrupts %d, queue high-water %d\n",
+				d.Name, d.Requests, d.Interrupts, d.QueueHighWater)
+		}
+		fmt.Fprintf(w, "    nic tx/rx                 %8d / %d packets\n",
+			sys.Net.NIC.TxPackets, sys.Net.NIC.RxPackets)
+		fmt.Fprintf(w, "    netmsg forwarded          %8d, delivered %d, inbox high-water %d\n",
+			sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
+		fmt.Fprintf(w, "  kernel stacks: %.3f average in use, %d worst case\n",
+			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
+		writeFaultReport(w, sys, opt)
+	}
+}
+
+// machineName labels machine index i of n in the report. Two-machine
+// clusters keep the historical "machine A (client)" / "machine B
+// (server)" names so single-pair output is byte-identical to the old
+// driver's.
+func machineName(i, n int) string {
+	role, letter := "client", "A"
+	if i%2 == 1 {
+		role, letter = "server", "B"
+	}
+	if n <= 2 {
+		return fmt.Sprintf("machine %s (%s)", letter, role)
+	}
+	return fmt.Sprintf("pair %d machine %s (%s)", i/2, letter, role)
+}
+
+// writeFaultReport prints the fault-injection and recovery counters when
+// a fault plan or the invariant checker is active.
+func writeFaultReport(w io.Writer, sys *kern.System, opt NetRPCReportOptions) {
+	if !opt.Check && !opt.Faults {
+		return
+	}
+	fs := sys.FaultStats()
+	fmt.Fprintf(w, "\nfaults & recovery:\n")
+	fmt.Fprintf(w, "  injected: %s\n", fs)
+	fmt.Fprintf(w, "  dev: timeouts %d, retries %d, failures surfaced %d\n",
+		sys.Dev.IoTimeouts, sys.Dev.IoRetries, sys.Dev.IoFailures)
+	if sys.Net != nil {
+		fmt.Fprintf(w, "  net: retransmits %d, acks rx %d, dups dropped %d, lost %d, unacked %d\n",
+			sys.Net.Retransmits, sys.Net.AcksRx, sys.Net.DupsDropped,
+			sys.Net.Lost, sys.Net.UnackedLen())
+	}
+	fmt.Fprintf(w, "  aborts: %d; invariant sweeps passed: %d\n",
+		sys.Aborted, sys.K.Stats.InvariantPasses)
+	if opt.Check {
+		sys.K.MustValidate()
+		fmt.Fprintf(w, "  final invariant check: clean\n")
+	}
+}
