@@ -6,7 +6,8 @@
 //
 //	machsim [-workload compile|build|dos|netrpc] [-flavor mk40|mk32|mach25]
 //	        [-arch ds3100|toshiba] [-scale f] [-seed n] [-v]
-//	        [-faults seed:spec] [-check] [-trace out.json] [-profile]
+//	        [-faults seed:spec] [-crash M@T[:reboot+N]] [-failover]
+//	        [-check] [-trace out.json] [-profile]
 //
 // The netrpc workload boots two machines joined by a NIC pair and runs
 // cross-machine echo RPCs through the in-kernel netmsg threads, printing
@@ -18,6 +19,16 @@
 // kernel invariant sweep after every dispatch. The same -faults argument
 // always produces byte-identical output — the CI determinism smoke
 // diffs two such runs.
+//
+// -crash M@T[:reboot+N] is sugar for a crash=… rule in the fault spec:
+// machine M halts at simulated offset T, dropping all in-flight state,
+// and (with :reboot+N) warm-reboots N later under a new incarnation. The
+// flag is repeatable and implies -failover, which boots the 4-machine HA
+// topology (client, primary, replica, client): clients detect the dead
+// server through the netmsg membership layer, fail over to the replica,
+// and fail back once the primary's reboot announcement arrives, so every
+// RPC still completes. The report gains a "recovery:" section with the
+// crash/failover accounting.
 //
 // -trace records every kernel event and writes a Chrome trace_event JSON
 // file (load it in Perfetto or chrome://tracing, or summarize it with
@@ -53,7 +64,24 @@ var (
 	pairs        = flag.Int("pairs", 1, "netrpc: client/server machine pairs (2*pairs machines)")
 	clients      = flag.Int("clients", 1, "netrpc: client threads per client machine")
 	parallel     = flag.Bool("parallel", false, "netrpc: run machines on goroutines (byte-identical output)")
+	failover     = flag.Bool("failover", false, "netrpc: boot the 4-machine HA topology (client/primary/replica/client)")
+
+	// crashes collects the repeatable -crash flag; each use is sugar for a
+	// crash=… rule in the -faults spec.
+	crashes []fault.Crash
 )
+
+func init() {
+	flag.Func("crash", "netrpc: crash machine M at offset T, e.g. 1@40ms:reboot+80ms (repeatable, implies -failover)",
+		func(val string) error {
+			c, err := fault.ParseCrash(val)
+			if err != nil {
+				return err
+			}
+			crashes = append(crashes, c)
+			return nil
+		})
+}
 
 func main() {
 	flag.Parse()
@@ -92,6 +120,8 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	faultSpec.Crashes = append(faultSpec.Crashes, crashes...)
 
 	if *workloadName == "netrpc" {
 		runNetRPC(flavor, arch, faultSeed, faultSpec)
@@ -251,10 +281,12 @@ func runNetRPC(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpe
 	spec.Parallel = *parallel
 	spec.DebugChecks = *check
 	spec.Observe = *traceFile != "" || *profile
+	spec.Failover = *failover || len(faultSpec.Crashes) > 0
 	res := workload.RunNetRPC(flavor, arch, spec)
 
 	workload.WriteNetRPCReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
-		Faults: *faultsFlag != "", Check: *check,
+		Faults: *faultsFlag != "" || len(faultSpec.Crashes) > 0, Check: *check,
+		Failover: spec.Failover,
 	})
 
 	recs := make([]*obs.Recorder, len(res.Machines))

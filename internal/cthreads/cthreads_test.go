@@ -175,6 +175,8 @@ func TestKernelOpFromCThread(t *testing.T) {
 			return cthreads.ExitOp()
 		}
 	})
+	task := sys.NewTask("app")
+	var vcpu *core.Thread
 	rt.Spawn("receiver", func(c *cthreads.CThread) cthreads.Op {
 		switch c.Step {
 		case 1:
@@ -182,16 +184,17 @@ func TestKernelOpFromCThread(t *testing.T) {
 				sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: port})
 			}))
 		default:
+			// Drain the mailbox before exiting: the reaper reclaims a dead
+			// thread's message buffers, so post-mortem reads see nothing.
+			if m := sys.IPC.Received(vcpu); m != nil {
+				got = m.Body
+			}
 			return cthreads.ExitOp()
 		}
 	})
-	task := sys.NewTask("app")
-	vcpu := task.NewThread("vcpu", rt, 10)
+	vcpu = task.NewThread("vcpu", rt, 10)
 	sys.Start(vcpu)
 	sys.Run(0)
-	if m := sys.IPC.Received(vcpu); m != nil {
-		got = m.Body
-	}
 	if got != "hello" {
 		t.Fatalf("got %v", got)
 	}

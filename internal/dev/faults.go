@@ -137,6 +137,79 @@ func (s *Subsystem) AbortWaiter(t *core.Thread) (code uint64, ok bool) {
 	return 0, false
 }
 
+// ReleaseThread drops the device-layer state still charged to a thread
+// that will never run again: a posted-but-unconsumed I/O error and any
+// armed retry backoff. Requests naming the thread as waiter are
+// detached so a completion landing after the reap is discarded as an
+// orphan. The kern reaper calls this (with ipc.ReleaseThread) on every
+// reap and asserts the census is clean afterwards.
+func (s *Subsystem) ReleaseThread(t *core.Thread) {
+	delete(s.ioErr, t.ID)
+	if ev := s.pendingRetry[t.ID]; ev != nil {
+		s.K.Clock.Cancel(ev)
+		delete(s.pendingRetry, t.ID)
+	}
+	detach := func(r *Request) {
+		if r == nil || r.Waiter != t {
+			return
+		}
+		r.Waiter = nil
+		if r.timeout != nil {
+			s.K.Clock.Cancel(r.timeout)
+		}
+	}
+	for _, d := range s.devices {
+		detach(d.inflight)
+		for _, r := range d.queue {
+			detach(r)
+		}
+	}
+	for _, r := range s.completions {
+		detach(r)
+	}
+}
+
+// Residue counts device-layer state still attached to a thread — zero
+// after ReleaseThread.
+func (s *Subsystem) Residue(t *core.Thread) int {
+	n := 0
+	if _, ok := s.ioErr[t.ID]; ok {
+		n++
+	}
+	if s.pendingRetry[t.ID] != nil {
+		n++
+	}
+	count := func(r *Request) {
+		if r != nil && r.Waiter == t {
+			n++
+		}
+	}
+	for _, d := range s.devices {
+		count(d.inflight)
+		for _, r := range d.queue {
+			count(r)
+		}
+	}
+	for _, r := range s.completions {
+		count(r)
+	}
+	return n
+}
+
+// PendingIO counts requests accepted but not yet resolved — queued, in
+// service, or completed but not yet processed by the io_done thread.
+// The crash panic record captures it.
+func (s *Subsystem) PendingIO() int {
+	n := len(s.completions)
+	for _, d := range s.devices {
+		n += len(d.queue)
+		if d.inflight != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // checkInvariants is the dev contribution to the kernel invariant sweep
 // (registered by NewSubsystem, run by core.Kernel.Validate): every
 // request waiter is actually waiting, and no detached request still

@@ -53,6 +53,21 @@ type Packet struct {
 	// for that sequence number.
 	Seq uint64
 	Ack bool
+
+	// SrcInc and DstInc are the boot incarnation numbers of the sending
+	// machine and of the destination machine as the sender last knew it.
+	// A receiver discards packets stamped for a previous incarnation of
+	// itself (a retransmit that outlived a crash) or stamped by a peer
+	// incarnation it already knows to be dead; zero means unstamped and
+	// is always accepted. Every stamped arrival doubles as a piggybacked
+	// heartbeat for the membership layer.
+	SrcInc uint32
+	DstInc uint32
+
+	// Heartbeat marks an explicit incarnation announcement: it carries no
+	// payload and is consumed by the receiving netmsg thread's membership
+	// bookkeeping instead of being delivered to a port.
+	Heartbeat bool
 }
 
 // ackBytes is the wire size of a bare acknowledgement packet.
@@ -95,17 +110,23 @@ type NIC struct {
 	// thread installs itself here.
 	handler func(e *core.Env, pkt *Packet)
 
+	// down marks the NIC's machine as crashed: arrivals are discarded
+	// before the rx interrupt is raised (there are no interrupt vectors,
+	// threads or stacks to take it on).
+	down bool
+
 	// Fault, when non-nil, injects wire faults on transmit: packet drop,
 	// duplication, and delay (reordering).
 	Fault *fault.Plan
 
 	// Counters.
-	TxPackets  uint64
-	RxPackets  uint64
-	Interrupts uint64
-	Dropped    uint64 // transmissions lost to injected drops
-	Duplicated uint64 // transmissions that arrived twice
-	Delayed    uint64 // transmissions held back on the wire
+	TxPackets   uint64
+	RxPackets   uint64
+	Interrupts  uint64
+	Dropped     uint64 // transmissions lost to injected drops
+	Duplicated  uint64 // transmissions that arrived twice
+	Delayed     uint64 // transmissions held back on the wire
+	RxWhileDown uint64 // arrivals discarded because the machine was down
 }
 
 // wireDelivery is one packet arrival bound for the peer machine, buffered
@@ -126,6 +147,29 @@ func (s *Subsystem) NewNIC(name string) *NIC {
 
 // NICs returns the machine's NICs in creation order.
 func (s *Subsystem) NICs() []*NIC { return s.nics }
+
+// AdoptNIC re-registers a NIC surviving from a previous incarnation of
+// this machine into a freshly booted device subsystem (the hardware,
+// its wiring and its transmit history outlive a warm reboot). NICs must
+// be adopted in their original creation order so the deterministic
+// arrival tie-break keys keep their meaning.
+func (s *Subsystem) AdoptNIC(n *NIC) {
+	if n.index != len(s.nics) {
+		panic(fmt.Sprintf("dev: AdoptNIC of %q out of order (index %d, have %d NICs)",
+			n.Name, n.index, len(s.nics)))
+	}
+	n.Sub = s
+	n.handler = nil
+	s.nics = append(s.nics, n)
+}
+
+// Index reports the NIC's creation order on its machine.
+func (n *NIC) Index() int { return n.index }
+
+// SetDown marks the NIC's machine as crashed (true) or rebooted (false).
+// While down, packets already on the wire still arrive — a crash cannot
+// recall them — but are discarded at the interrupt boundary.
+func (n *NIC) SetDown(down bool) { n.down = down }
 
 // Connect joins two NICs (usually on different machines) with the given
 // wire latency (DefaultWireLatency if 0).
@@ -232,6 +276,10 @@ func (n *NIC) FlushDeferred() int {
 // the io_done thread (which will usually hand its stack straight to the
 // netmsg thread).
 func (n *NIC) receive(pkt *Packet) {
+	if n.down {
+		n.RxWhileDown++
+		return
+	}
 	s := n.Sub
 	s.K.TakeInterrupt(n.Name+" rx", func(e *core.Env) {
 		e.Charge(nicRxHandlerCost)
@@ -292,6 +340,21 @@ type Netmsg struct {
 	seen    map[uint64]bool        // peer data seqs already delivered
 	outbox  []*Packet              // retransmissions queued by timers
 
+	// Membership state (crash recovery). Inc is this machine's boot
+	// incarnation, stamped into every transmitted packet; peerInc is the
+	// highest incarnation heard from the peer. lastHeard is updated by
+	// every stamped arrival — ordinary traffic doubles as a piggybacked
+	// heartbeat — and PeerAlive declares the peer dead lazily when the
+	// silence exceeds DeadAfter.
+	Inc          uint32
+	peerInc      uint32
+	lastHeard    machine.Time
+	declaredDead bool
+
+	// DeadAfter is the silence deadline after which PeerAlive presumes
+	// the peer dead (DefaultDeadAfter if left zero by hand-construction).
+	DeadAfter machine.Duration
+
 	// Counters.
 	Forwarded      uint64 // local sends put on the wire
 	Delivered      uint64 // arriving packets delivered to local ports
@@ -302,6 +365,11 @@ type Netmsg struct {
 	AcksRx         uint64 // acknowledgements received
 	DupsDropped    uint64 // duplicate data packets suppressed
 	Lost           uint64 // packets abandoned after RexmitMax attempts
+	StaleDropped   uint64 // arrivals discarded by the incarnation check
+	HeartbeatsTx   uint64 // explicit announcements put on the wire
+	HeartbeatsRx   uint64 // explicit announcements consumed
+	DeathsDetected uint64 // times the peer was declared dead
+	Recoveries     uint64 // times a dead peer was heard from again
 }
 
 // unackedPkt tracks one transmitted-but-unacknowledged data packet.
@@ -318,6 +386,10 @@ const DefaultRexmitTimeout = machine.Duration(5 * 1000 * 1000) // 5 ms
 // DefaultRexmitMax bounds retransmission attempts per packet.
 const DefaultRexmitMax = 8
 
+// DefaultDeadAfter is the membership silence deadline: four retransmit
+// intervals without hearing from the peer and it is presumed dead.
+const DefaultDeadAfter = 4 * DefaultRexmitTimeout
+
 // NewNetmsg creates the netmsg thread for a machine and binds it to the
 // NIC (created blocked; packet arrivals wake it through the io_done
 // thread, most often by stack handoff).
@@ -332,6 +404,10 @@ func NewNetmsg(s *Subsystem, x *ipc.IPC, nic *NIC) *Netmsg {
 	}
 	n.RexmitTimeout = DefaultRexmitTimeout
 	n.RexmitMax = DefaultRexmitMax
+	n.DeadAfter = DefaultDeadAfter
+	n.Inc = 1
+	n.peerInc = 1
+	n.lastHeard = s.K.Clock.Now()
 	n.unacked = make(map[uint64]*unackedPkt)
 	n.seen = make(map[uint64]bool)
 	n.cont = core.NewContinuation("netmsg_continue", n.loop)
@@ -339,8 +415,12 @@ func NewNetmsg(s *Subsystem, x *ipc.IPC, nic *NIC) *Netmsg {
 	if !s.K.UseContinuations {
 		pm = n.loop
 	}
+	name := "netmsg"
+	if nic.index > 0 {
+		name = fmt.Sprintf("netmsg%d", nic.index)
+	}
 	n.Thread = s.K.NewThread(core.ThreadSpec{
-		Name:     "netmsg",
+		Name:     name,
 		SpaceID:  0,
 		Internal: true,
 		Priority: 29,
@@ -404,7 +484,13 @@ func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts 
 		OpID:      msg.OpID,
 		Size:      msg.Size,
 		Body:      msg.Body,
+		SrcInc:    n.Inc,
+		DstInc:    n.peerInc,
 	}
+	// DstInc is stamped once, here: if the peer crashes and reboots while
+	// this packet is retransmitting, every retransmission still targets
+	// the dead incarnation and the new one discards them — a request from
+	// before the crash is never half-delivered into the rebooted machine.
 	if n.Reliable {
 		n.seq++
 		pkt.Seq = n.seq
@@ -414,7 +500,7 @@ func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts 
 	// The message is fully serialized into the packet; recycle its buffer.
 	n.X.FreeMessage(msg)
 	if opts.ReceiveFrom != nil {
-		n.X.Receive(e, opts.ReceiveFrom, opts.MaxSize)
+		n.X.ReceiveTimeout(e, opts.ReceiveFrom, opts.MaxSize, opts.RcvTimeout)
 	}
 	n.Sub.K.ThreadSyscallReturn(e, ipc.MsgSuccess)
 }
@@ -425,6 +511,105 @@ func (n *Netmsg) EnableReliable() { n.Reliable = true }
 
 // UnackedLen reports data packets still awaiting acknowledgement.
 func (n *Netmsg) UnackedLen() int { return len(n.unacked) }
+
+// SetIncarnation stamps the machine's boot incarnation into this link's
+// outbound packets; the warm-reboot path calls it before announcing.
+func (n *Netmsg) SetIncarnation(inc uint32) { n.Inc = inc }
+
+// PeerIncarnation reports the highest incarnation heard from the peer.
+func (n *Netmsg) PeerIncarnation() uint32 { return n.peerInc }
+
+// PeerAlive reports whether the peer machine is presumed up: alive until
+// the link has been silent past DeadAfter, dead from then until the peer
+// is heard from again. The check is lazy — ordinary traffic carries the
+// piggybacked heartbeats, so no timer fires on a quiescent machine and
+// determinism across drivers is free.
+func (n *Netmsg) PeerAlive() bool {
+	if n.declaredDead {
+		return false
+	}
+	if n.Sub.K.Clock.Now()-n.lastHeard > n.deadAfter() {
+		n.declaredDead = true
+		n.DeathsDetected++
+		if r := n.Sub.K.Obs; r != nil {
+			r.Emit(obs.PeerDeath, 0, "", "", n.NIC.Name)
+		}
+		return false
+	}
+	return true
+}
+
+func (n *Netmsg) deadAfter() machine.Duration {
+	if n.DeadAfter != 0 {
+		return n.DeadAfter
+	}
+	return DefaultDeadAfter
+}
+
+// AnnounceIncarnation queues an explicit heartbeat announcing this
+// machine's incarnation — the warm-reboot path's "I am back" burst. The
+// announcement rides the reliability protocol when enabled, so a single
+// injected drop cannot hide a reboot from the peer. Transmission happens
+// in the netmsg thread's context (timers and boot code have no kernel
+// Env to charge the tx cost against).
+func (n *Netmsg) AnnounceIncarnation() {
+	pkt := &Packet{Heartbeat: true, Size: ackBytes, SrcInc: n.Inc}
+	if n.Reliable {
+		n.seq++
+		pkt.Seq = n.seq
+		n.track(pkt)
+	}
+	n.outbox = append(n.outbox, pkt)
+	if n.Thread.State == core.StateWaiting {
+		n.Sub.K.Setrun(n.Thread)
+	}
+}
+
+// noteIncarnation is the membership bookkeeping run on every arriving
+// packet, before any protocol processing. It reports whether the packet
+// must be discarded as stale: stamped by a peer incarnation already
+// superseded, or aimed at a previous incarnation of this machine. A
+// zero stamp means the packet predates incarnation stamping (or was
+// hand-built by a test) and is always accepted.
+func (n *Netmsg) noteIncarnation(pkt *Packet) (stale bool) {
+	n.lastHeard = n.Sub.K.Clock.Now()
+	if n.declaredDead {
+		n.declaredDead = false
+		n.Recoveries++
+		if r := n.Sub.K.Obs; r != nil {
+			r.EmitArg(obs.PeerDeath, 0, "", "", n.NIC.Name, 1)
+		}
+	}
+	if pkt.SrcInc > n.peerInc {
+		// The peer rebooted: its new incarnation restarts sequence
+		// numbering, so the dedup state of the dead incarnation must go
+		// with it. Unacked packets stamped for the dead incarnation can
+		// never be acknowledged — the new incarnation stale-drops them —
+		// so they are declared lost now rather than after the full
+		// retransmit backoff (cancel order does not matter: the event
+		// heap breaks ties by sequence number, not layout).
+		n.peerInc = pkt.SrcInc
+		for s := range n.seen {
+			delete(n.seen, s)
+		}
+		for seq, u := range n.unacked {
+			if u.pkt.DstInc != 0 && u.pkt.DstInc < n.peerInc {
+				n.Sub.K.Clock.Cancel(u.timer)
+				delete(n.unacked, seq)
+				n.Lost++
+			}
+		}
+	}
+	if pkt.SrcInc != 0 && pkt.SrcInc < n.peerInc {
+		n.StaleDropped++
+		return true
+	}
+	if pkt.DstInc != 0 && pkt.DstInc != n.Inc {
+		n.StaleDropped++
+		return true
+	}
+	return false
+}
 
 // track registers a data packet as awaiting acknowledgement and arms its
 // retransmit timer.
@@ -478,11 +663,20 @@ func (n *Netmsg) takePacket(e *core.Env, pkt *Packet) {
 func (n *Netmsg) loop(e *core.Env) {
 	k := n.Sub.K
 	for len(n.inbox) > 0 || len(n.outbox) > 0 {
-		// Retransmissions queued by ack timers go out first.
+		// Retransmissions and heartbeats queued by timers and the reboot
+		// path go out first.
 		for len(n.outbox) > 0 {
 			pkt := n.outbox[0]
 			n.outbox = n.outbox[1:]
-			n.Retransmits++
+			if pkt.Heartbeat {
+				n.HeartbeatsTx++
+				if r := n.Sub.K.Obs; r != nil {
+					t := e.Cur()
+					r.EmitArg(obs.Heartbeat, t.ID, t.Name, "", n.NIC.Name, int(n.Inc))
+				}
+			} else {
+				n.Retransmits++
+			}
 			n.NIC.Transmit(e, pkt)
 		}
 		if len(n.inbox) == 0 {
@@ -507,6 +701,13 @@ func (n *Netmsg) loop(e *core.Env) {
 // May be terminal (handoff) or return (queued delivery).
 func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
 	k := n.Sub.K
+	// Membership first: a stale packet — one that outlived a crash on
+	// either end — is discarded before the protocol sees it, and in
+	// particular is never acknowledged (an ack would quiet the sender's
+	// retransmit timer for a request that was never delivered).
+	if n.noteIncarnation(pkt) {
+		return
+	}
 	if pkt.Ack {
 		if u := n.unacked[pkt.Seq]; u != nil {
 			k.Clock.Cancel(u.timer)
@@ -519,14 +720,21 @@ func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
 		// Acknowledge before anything else: the delivery below may end in
 		// a terminal stack handoff to the receiver, and a duplicate must
 		// be re-acked (its first ack may have been the packet that was
-		// lost).
+		// lost). The ack's DstInc is the arriving packet's incarnation, so
+		// an ack delayed across the sender's reboot cannot quiet a fresh
+		// transmission that happens to reuse the sequence number.
 		n.AcksTx++
-		n.NIC.Transmit(e, &Packet{Ack: true, Seq: pkt.Seq, Size: ackBytes})
+		n.NIC.Transmit(e, &Packet{Ack: true, Seq: pkt.Seq, Size: ackBytes,
+			SrcInc: n.Inc, DstInc: pkt.SrcInc})
 		if n.seen[pkt.Seq] {
 			n.DupsDropped++
 			return
 		}
 		n.seen[pkt.Seq] = true
+	}
+	if pkt.Heartbeat {
+		n.HeartbeatsRx++
+		return
 	}
 	port := n.exported[pkt.DstPort]
 	if port == nil || port.Dead() {

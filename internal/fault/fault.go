@@ -39,12 +39,31 @@ type Spec struct {
 	// later transmission overtake it (reordering).
 	DelayProb  float64
 	DelayExtra machine.Duration
+
+	// Crashes lists whole-machine crash events. Unlike the probabilistic
+	// rules above, a crash is a scheduled certainty: machine M halts at
+	// simulated offset At and (optionally) warm-reboots RebootAfter later.
+	// The machine index is interpreted by the workload that boots the
+	// cluster, so one spec string can describe a multi-machine plan.
+	Crashes []Crash
+}
+
+// Crash is one scheduled whole-machine failure.
+type Crash struct {
+	// Machine is the cluster machine index that dies.
+	Machine int
+	// At is the simulated time offset of the crash.
+	At machine.Duration
+	// RebootAfter is the downtime before the warm reboot; zero means the
+	// machine stays dead for the rest of the run.
+	RebootAfter machine.Duration
 }
 
 // Zero reports whether the spec injects nothing.
 func (s Spec) Zero() bool {
 	return s.DeviceFailProb == 0 && s.DeviceSlowProb == 0 &&
-		s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0
+		s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0 &&
+		len(s.Crashes) == 0
 }
 
 // ParseSpec parses a comma-separated rule list:
@@ -54,6 +73,11 @@ func (s Spec) Zero() bool {
 // Rules with a duration component (devslow, delay) take "prob:duration",
 // where the duration uses Go syntax ("2ms", "400us"). Omitted durations
 // default to 2ms.
+//
+// The crash rule is scheduled, not probabilistic: "crash=M@T" kills
+// machine M at offset T, and "crash=M@T:reboot+N" warm-reboots it N
+// later, e.g. crash=1@40ms:reboot+80ms. The rule may repeat to crash
+// several machines (or the same machine again after its reboot).
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	s = strings.TrimSpace(s)
@@ -64,6 +88,14 @@ func ParseSpec(s string) (Spec, error) {
 		key, val, ok := strings.Cut(strings.TrimSpace(rule), "=")
 		if !ok {
 			return spec, fmt.Errorf("fault: rule %q is not key=value", rule)
+		}
+		if key == "crash" {
+			c, err := ParseCrash(val)
+			if err != nil {
+				return spec, err
+			}
+			spec.Crashes = append(spec.Crashes, c)
+			continue
 		}
 		probPart, durPart, hasDur := strings.Cut(val, ":")
 		prob, err := strconv.ParseFloat(probPart, 64)
@@ -96,6 +128,39 @@ func ParseSpec(s string) (Spec, error) {
 		}
 	}
 	return spec, nil
+}
+
+// ParseCrash parses one crash rule value "M@T" or "M@T:reboot+N" (the
+// machsim -crash flag uses the same grammar without the "crash=" key).
+func ParseCrash(val string) (Crash, error) {
+	var c Crash
+	atPart, rebootPart, hasReboot := strings.Cut(val, ":")
+	mPart, tPart, ok := strings.Cut(atPart, "@")
+	if !ok {
+		return c, fmt.Errorf("fault: crash rule %q wants M@T[:reboot+N]", val)
+	}
+	m, err := strconv.Atoi(strings.TrimSpace(mPart))
+	if err != nil || m < 0 {
+		return c, fmt.Errorf("fault: crash rule %q has a bad machine index", val)
+	}
+	at, err := time.ParseDuration(tPart)
+	if err != nil || at <= 0 {
+		return c, fmt.Errorf("fault: crash rule %q has a bad crash time", val)
+	}
+	c.Machine = m
+	c.At = machine.Duration(at.Nanoseconds())
+	if hasReboot {
+		nPart, okR := strings.CutPrefix(rebootPart, "reboot+")
+		if !okR {
+			return c, fmt.Errorf("fault: crash rule %q wants reboot+N after the colon", val)
+		}
+		n, err := time.ParseDuration(nPart)
+		if err != nil || n <= 0 {
+			return c, fmt.Errorf("fault: crash rule %q has a bad reboot delay", val)
+		}
+		c.RebootAfter = machine.Duration(n.Nanoseconds())
+	}
+	return c, nil
 }
 
 // ParseFlag parses the machsim -faults argument "seed:spec", e.g.

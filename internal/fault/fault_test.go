@@ -126,3 +126,53 @@ func TestRates(t *testing.T) {
 		t.Fatalf("Injected() = %d, want %d", p.Injected(), drops)
 	}
 }
+
+func TestParseCrash(t *testing.T) {
+	c, err := fault.ParseCrash("1@40ms:reboot+80ms")
+	if err != nil {
+		t.Fatalf("ParseCrash: %v", err)
+	}
+	if c.Machine != 1 || c.At != machine.Time(40*1000*1000) || c.RebootAfter != machine.Duration(80*1000*1000) {
+		t.Fatalf("crash = %+v", c)
+	}
+
+	// No reboot clause: the machine stays down.
+	c, err = fault.ParseCrash("2@100us")
+	if err != nil {
+		t.Fatalf("ParseCrash: %v", err)
+	}
+	if c.Machine != 2 || c.At != machine.Time(100*1000) || c.RebootAfter != 0 {
+		t.Fatalf("crash = %+v", c)
+	}
+
+	for _, bad := range []string{"", "1", "1@", "@40ms", "x@40ms", "1@xyz", "1@40ms:reboot", "1@40ms:reboot+", "1@40ms:reboot+xyz", "1@40ms:later+5ms", "-1@40ms"} {
+		if _, err := fault.ParseCrash(bad); err == nil {
+			t.Errorf("ParseCrash(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSpecCrashRule(t *testing.T) {
+	spec, err := fault.ParseSpec("drop=0.1,crash=0@10ms:reboot+5ms,crash=3@20ms")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(spec.Crashes) != 2 {
+		t.Fatalf("crashes = %+v", spec.Crashes)
+	}
+	if spec.Crashes[0].Machine != 0 || spec.Crashes[0].RebootAfter != machine.Duration(5*1000*1000) {
+		t.Fatalf("crash[0] = %+v", spec.Crashes[0])
+	}
+	if spec.Crashes[1].Machine != 3 || spec.Crashes[1].RebootAfter != 0 {
+		t.Fatalf("crash[1] = %+v", spec.Crashes[1])
+	}
+	if spec.Zero() {
+		t.Fatal("spec with crashes must not be zero")
+	}
+	if s, err := fault.ParseSpec("crash=0@10ms"); err != nil || s.Zero() {
+		t.Fatalf("crash-only spec: %+v err %v", s, err)
+	}
+	if _, err := fault.ParseSpec("crash=bogus"); err == nil {
+		t.Error("bad crash rule should fail")
+	}
+}

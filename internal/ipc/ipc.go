@@ -139,6 +139,12 @@ type Port struct {
 	// terminal.
 	KernelSink func(e *core.Env, msg *Message, opts *MsgOptions)
 
+	// lastReceiver is the thread that most recently registered to receive
+	// on (or pulled a message from) this port — the port's presumed owner.
+	// The deadlock detector uses it to answer "who is expected to drain
+	// this queue" when no receiver is currently registered.
+	lastReceiver *core.Thread
+
 	// Enqueued and Dequeued count queue traffic through this port,
 	// letting tests verify the fast path bypasses the queue.
 	Enqueued uint64
@@ -449,6 +455,15 @@ func (x *IPC) Receive(e *core.Env, p *Port, maxSize int) {
 	x.receive(e, p, maxSize, 0)
 }
 
+// ReceiveTimeout is Receive with a bounded block: the receive fails with
+// RcvTimedOut after the given wait (zero means wait forever). The netmsg
+// proxy path uses it to carry a mach_msg RcvTimeout through a forwarded
+// send, which is what lets an RPC client survive a crashed server.
+// Terminal.
+func (x *IPC) ReceiveTimeout(e *core.Env, p *Port, maxSize int, timeout machine.Duration) {
+	x.receive(e, p, maxSize, timeout)
+}
+
 // ReceiveSet is Receive over a port set. Terminal.
 func (x *IPC) ReceiveSet(e *core.Env, ps *PortSet, maxSize int) {
 	x.receive(e, ps, maxSize, 0)
@@ -539,6 +554,7 @@ func (x *IPC) freeWaiter(w *rcvWaiter) {
 func (p *Port) push(x *IPC, t *core.Thread) *rcvWaiter {
 	w := x.newWaiter(t)
 	p.waiters = append(p.waiters, w)
+	p.lastReceiver = t
 	return w
 }
 

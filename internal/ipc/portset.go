@@ -130,6 +130,9 @@ func (p *Port) pull(x *IPC, e *core.Env) *Message {
 	if len(p.queue) == 0 {
 		return nil
 	}
+	if t := e.Cur(); t != nil {
+		p.lastReceiver = t
+	}
 	m := p.queue[0]
 	n := copy(p.queue, p.queue[1:])
 	p.queue[n] = nil

@@ -3,13 +3,14 @@ package kern
 import "repro/internal/fault"
 
 // InjectFaults seeds this machine's fault plans from one (seed, spec)
-// pair: the device subsystem and the NIC each get an independent
-// SplitMix64 stream derived from the seed, so the same pair reproduces
-// the same fault history bit-for-bit regardless of how the two
-// subsystems interleave their draws. When the spec injects wire faults
-// the netmsg reliability protocol is enabled as well — best-effort
+// pair: the device subsystem and each NIC get an independent SplitMix64
+// stream derived from the seed, so the same pair reproduces the same
+// fault history bit-for-bit regardless of how the subsystems interleave
+// their draws. When the spec injects wire faults or machine crashes the
+// netmsg reliability protocol is enabled as well — best-effort
 // forwarding would silently lose messages, which is a broken machine,
-// not an interesting one.
+// not an interesting one, and crash recovery depends on retransmission
+// and the incarnation stamps it carries.
 func (s *System) InjectFaults(seed uint64, spec fault.Spec) {
 	if spec.Zero() {
 		return
@@ -17,10 +18,11 @@ func (s *System) InjectFaults(seed uint64, spec fault.Spec) {
 	if s.Dev != nil {
 		s.Dev.SetFaultPlan(fault.New(seed, spec))
 	}
-	if s.Net != nil {
-		s.Net.NIC.Fault = fault.New(seed^0x9e3779b97f4a7c15, spec)
-		if spec.DropProb > 0 || spec.DupProb > 0 || spec.DelayProb > 0 {
-			s.Net.EnableReliable()
+	wire := spec.DropProb > 0 || spec.DupProb > 0 || spec.DelayProb > 0
+	for i, n := range s.Links {
+		n.NIC.Fault = fault.New(seed^0x9e3779b97f4a7c15^uint64(i)*0xbf58476d1ce4e5b9, spec)
+		if wire || len(spec.Crashes) > 0 {
+			n.EnableReliable()
 		}
 	}
 }
@@ -40,8 +42,8 @@ func (s *System) FaultStats() fault.Stats {
 	}
 	if s.Dev != nil {
 		add(s.Dev.Fault)
-		if s.Net != nil {
-			add(s.Net.NIC.Fault)
+		for _, n := range s.Links {
+			add(n.NIC.Fault)
 		}
 	}
 	return st

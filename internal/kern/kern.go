@@ -162,11 +162,46 @@ type System struct {
 	Exc    *exc.Exc
 
 	// Dev is the device subsystem; Disk its paging disk; Net the netmsg
-	// forwarding thread bound to this machine's NIC. All nil when
+	// forwarding thread bound to this machine's first NIC. All nil when
 	// DisableDaemons is set.
 	Dev  *dev.Subsystem
 	Disk *dev.Device
 	Net  *dev.Netmsg
+
+	// Links are all netmsg forwarding threads, one per NIC in creation
+	// order; Links[0] == Net. Netmsg links are point-to-point, so a
+	// machine wired to several peers (an RPC client with a primary and a
+	// replica server) grows one per peer via AddLink.
+	Links []*dev.Netmsg
+
+	// Incarnation is the machine's boot count, starting at 1; each warm
+	// reboot increments it and stamps it into outbound packets so the
+	// reliable netmsg layer can discard traffic that outlived a crash.
+	Incarnation uint32
+
+	// Down reports the machine is crashed: between Crash and Reboot it
+	// has no threads, no subsystems, and its NICs discard arrivals.
+	Down bool
+
+	// PanicRecord is the capture from the most recent crash, nil before
+	// the first one.
+	PanicRecord *PanicRecord
+
+	// OnReboot, when set, runs at the end of every warm reboot — the
+	// machine's init script, where a workload re-creates its servers and
+	// re-exports their ports.
+	OnReboot func(*System)
+
+	// Watchdog is the stall/deadlock watchdog, nil unless EnableWatchdog
+	// was called; it survives reboots (re-registering on each boot).
+	Watchdog *Watchdog
+
+	// cfg is retained so a warm reboot can re-run the boot sequence.
+	cfg Config
+
+	// priorNet accumulates the netmsg counters of incarnations replaced
+	// by reboots; NetTotals adds the live links on top.
+	priorNet NetTotals
 
 	// Callout is the special kernel thread that never blocks with a
 	// continuation (nil when disabled).
@@ -198,6 +233,11 @@ type System struct {
 	// Aborted counts threads cancelled out of a blocked operation by
 	// ThreadAbort.
 	Aborted uint64
+
+	// CrashCount and Reboots count whole-machine failures and warm
+	// reboots.
+	CrashCount uint64
+	Reboots    uint64
 }
 
 // Task is an address space plus a name for its threads.
@@ -220,32 +260,59 @@ func New(cfg Config) *System {
 		NoHandoff:            cfg.NoHandoff,
 		NoRecognition:        cfg.NoRecognition,
 	})
-	rq := sched.New(cfg.Quantum)
-	k.Sched = rq
 	s := &System{
-		Flavor: cfg.Flavor,
-		K:      k,
-		Sched:  rq,
+		Flavor:      cfg.Flavor,
+		K:           k,
+		cfg:         cfg,
+		Incarnation: 1,
 	}
+	s.bootSubstrates(nil)
+	return s
+}
+
+// bootSubstrates runs the boot sequence on s.K: scheduler, device layer,
+// VM, IPC, exceptions, the netmsg links, and the internal kernel threads
+// (callout, io-done, netmsg, reaper). On first boot adopt is nil and the
+// primary NIC is created fresh; on a warm reboot it lists the NICs
+// surviving from the previous incarnation (the hardware and its wiring
+// outlive a crash), in creation order.
+func (s *System) bootSubstrates(adopt []*dev.NIC) {
+	cfg := s.cfg
+	rq := sched.New(cfg.Quantum)
+	s.K.Sched = rq
+	s.Sched = rq
+	s.Links = nil
+	s.Dev, s.Disk, s.Net = nil, nil, nil
 	if !cfg.DisableDaemons {
 		lat := cfg.DiskLatency
 		if lat == 0 {
 			lat = vm.DefaultDiskLatency
 		}
-		s.Dev = dev.NewSubsystem(k)
+		s.Dev = dev.NewSubsystem(s.K)
 		s.Disk = s.Dev.NewDevice("disk", lat)
 	}
 	vmDisk := s.Disk
 	if cfg.LegacyFlatDisk {
 		vmDisk = nil
 	}
-	s.VM = vm.New(k, vm.Config{Frames: cfg.Frames, DiskLatency: cfg.DiskLatency, Disk: vmDisk})
-	s.IPC = ipc.New(k, cfg.Flavor.IPCStyle())
-	s.Exc = exc.New(k, s.IPC)
+	s.VM = vm.New(s.K, vm.Config{Frames: cfg.Frames, DiskLatency: cfg.DiskLatency, Disk: vmDisk})
+	s.IPC = ipc.New(s.K, cfg.Flavor.IPCStyle())
+	s.Exc = exc.New(s.K, s.IPC)
 	if s.Dev != nil {
 		s.Dev.AttachPorts(s.IPC)
-		nic := s.Dev.NewNIC("ne0")
-		s.Net = dev.NewNetmsg(s.Dev, s.IPC, nic)
+		if adopt == nil {
+			nic := s.Dev.NewNIC("ne0")
+			s.Net = dev.NewNetmsg(s.Dev, s.IPC, nic)
+			s.Links = []*dev.Netmsg{s.Net}
+		} else {
+			for _, nic := range adopt {
+				s.Dev.AdoptNIC(nic)
+				s.Links = append(s.Links, dev.NewNetmsg(s.Dev, s.IPC, nic))
+			}
+			if len(s.Links) > 0 {
+				s.Net = s.Links[0]
+			}
+		}
 	}
 	s.abortCode = make(map[int]uint64)
 	s.contAborted = core.NewContinuation("thread_abort_continue", s.abortReturn)
@@ -255,7 +322,22 @@ func New(cfg Config) *System {
 	if !cfg.DisableDaemons {
 		s.startReaper()
 	}
-	return s
+	if s.Watchdog != nil {
+		s.Watchdog.register()
+	}
+}
+
+// AddLink creates an additional NIC with its own netmsg forwarding
+// thread ("netmsg1", ...). Links are point-to-point: a machine that
+// talks to two peers needs two of them, each Connect-ed to one peer.
+func (s *System) AddLink() *dev.Netmsg {
+	if s.Dev == nil {
+		panic("kern: AddLink on a system without the device subsystem")
+	}
+	nic := s.Dev.NewNIC(fmt.Sprintf("ne%d", len(s.Dev.NICs())))
+	n := dev.NewNetmsg(s.Dev, s.IPC, nic)
+	s.Links = append(s.Links, n)
+	return n
 }
 
 // startReaper creates the kernel thread that reclaims the kernel state of
@@ -288,10 +370,25 @@ func (s *System) startReaper() {
 var reapCost = machine.Cost{Instrs: 220, Loads: 70, Stores: 45}
 
 // reaperLoop drains dead threads, then blocks with its own continuation
-// (§2.2 style). Terminal.
+// (§2.2 style). Each reap releases the IPC and device state still
+// charged to the dead thread — pooled message buffers, saved errors,
+// waiter registrations with their callouts — and asserts the census
+// comes back clean, so a leak on an abnormal-termination path fails
+// loudly instead of stranding pool entries. Terminal.
 func (s *System) reaperLoop(e *core.Env) {
-	for range s.K.ReapHalted() {
+	for _, t := range s.K.ReapHalted() {
 		e.Charge(reapCost)
+		s.IPC.ReleaseThread(t)
+		residue := s.IPC.Residue(t)
+		if s.Dev != nil {
+			s.Dev.ReleaseThread(t)
+			residue += s.Dev.Residue(t)
+		}
+		delete(s.abortCode, t.ID)
+		if residue != 0 {
+			panic(fmt.Sprintf("kern: reaper leak — thread %s still owns %d resources after release",
+				t.Name, residue))
+		}
 		s.Reaped++
 	}
 	t := e.Cur()

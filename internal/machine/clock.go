@@ -210,3 +210,37 @@ func (c *Clock) AdvanceToNextEvent() *Event {
 
 // Pending reports how many events are queued.
 func (c *Clock) Pending() int { return len(c.events) }
+
+// PurgeLocal cancels every locally-scheduled pending event — callout
+// expiries, retransmit timers, device completions, background ticks —
+// and returns how many it removed. Events scheduled by a remote machine
+// (ScheduleRemote's band) survive: they model packets already on the
+// wire, which a machine crash cannot recall. The crashed machine's
+// receive path is responsible for dropping them on arrival.
+func (c *Clock) PurgeLocal() int {
+	kept := c.events[:0]
+	purged := 0
+	for _, e := range c.events {
+		if e.seq&remoteBand != 0 {
+			kept = append(kept, e)
+			continue
+		}
+		e.index = -2
+		if !e.Background {
+			c.foreground--
+		}
+		purged++
+	}
+	// Zero the tail so purged events are not retained by the backing
+	// array, then restore the heap invariant over the survivors (Init
+	// only fixes the bookkeeping of elements it swaps, so reindex first).
+	for i := len(kept); i < len(c.events); i++ {
+		c.events[i] = nil
+	}
+	c.events = kept
+	for i, e := range c.events {
+		e.index = i
+	}
+	heap.Init(&c.events)
+	return purged
+}

@@ -203,3 +203,56 @@ func TestTimeConversions(t *testing.T) {
 		t.Fatalf("Seconds = %v", tm.Seconds())
 	}
 }
+
+func TestPurgeLocalKeepsWireEvents(t *testing.T) {
+	c := NewClock()
+	var fired []string
+	c.Schedule(10, "local-a", func() { fired = append(fired, "local-a") })
+	c.AfterBackground(20, "tick", func() { fired = append(fired, "tick") })
+	c.ScheduleRemote(15, 1, "wire-1", func() { fired = append(fired, "wire-1") })
+	c.ScheduleRemote(15, 2, "wire-2", func() { fired = append(fired, "wire-2") })
+	c.Schedule(30, "local-b", func() { fired = append(fired, "local-b") })
+
+	if purged := c.PurgeLocal(); purged != 3 {
+		t.Fatalf("purged %d events, want 3 (two local + one background)", purged)
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d, want the two wire arrivals", c.Pending())
+	}
+	if !c.HasForeground() {
+		t.Fatal("wire arrivals must remain foreground")
+	}
+	for ev := c.AdvanceToNextEvent(); ev != nil; ev = c.AdvanceToNextEvent() {
+		ev.Fire()
+	}
+	if len(fired) != 2 || fired[0] != "wire-1" || fired[1] != "wire-2" {
+		t.Fatalf("fired %v, want the wire events in key order", fired)
+	}
+	if c.HasForeground() {
+		t.Fatal("foreground count leaked")
+	}
+	// A purged event cannot be cancelled again (already removed).
+	if c.PurgeLocal() != 0 {
+		t.Fatal("second purge found something to remove")
+	}
+}
+
+func TestPurgeLocalCancelledEventsStayDead(t *testing.T) {
+	c := NewClock()
+	ran := false
+	e := c.Schedule(10, "local", func() { ran = true })
+	c.PurgeLocal()
+	if e.Pending() {
+		t.Fatal("purged event still pending")
+	}
+	if c.Cancel(e) {
+		t.Fatal("Cancel succeeded on a purged event")
+	}
+	c.Advance(20)
+	if got := c.PopDue(); got != nil {
+		t.Fatalf("PopDue returned purged event %v", got.Label)
+	}
+	if ran {
+		t.Fatal("purged event fired")
+	}
+}

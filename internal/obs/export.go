@@ -242,6 +242,7 @@ func Summarize(data []byte) (string, error) {
 	for _, m := range machines {
 		fmt.Fprintf(&b, "\nmachine %d: %d events\n", m.PID, len(m.Events))
 		writeThreadTable(&b, m)
+		writeRecoverySection(&b, m)
 		rep := NewReplay()
 		for _, ev := range m.Events {
 			rep.Ingest(ev)
@@ -250,6 +251,60 @@ func Summarize(data []byte) (string, error) {
 		rep.WriteReport(&b)
 	}
 	return b.String(), nil
+}
+
+// writeRecoverySection summarizes the crash-recovery events of one
+// machine — crashes, warm reboots, peer deaths/recoveries, failovers —
+// as a count line plus a chronological timeline. Heartbeats are counted
+// but not listed (a long trace may carry many). Silent when the trace
+// holds no recovery events, so pre-crash traces keep their exact shape.
+func writeRecoverySection(b *bytes.Buffer, m *MachineEvents) {
+	var lines []string
+	var crashes, reboots, hbs, deaths, recoveries, overs, backs int
+	add := func(when machine.Time, what string) {
+		lines = append(lines, fmt.Sprintf("    %12s  %s", fmtNS(uint64(when)), what))
+	}
+	for _, ev := range m.Events {
+		switch ev.Kind {
+		case MachineCrash:
+			crashes++
+			add(ev.When, fmt.Sprintf("crash of incarnation %d: %s", ev.Arg, ev.Detail))
+		case MachineReboot:
+			reboots++
+			add(ev.When, fmt.Sprintf("warm reboot as incarnation %d", ev.Arg))
+		case Heartbeat:
+			hbs++
+		case PeerDeath:
+			if ev.Arg == 1 {
+				recoveries++
+				add(ev.When, fmt.Sprintf("peer on %s heard again", ev.Detail))
+			} else {
+				deaths++
+				add(ev.When, fmt.Sprintf("peer on %s declared dead", ev.Detail))
+			}
+		case Failover:
+			name := ev.Thread
+			if name == "" {
+				name = fmt.Sprintf("tid %d", ev.TID)
+			}
+			if ev.Arg == 1 {
+				overs++
+				add(ev.When, fmt.Sprintf("%s failover %s", name, ev.Detail))
+			} else {
+				backs++
+				add(ev.When, fmt.Sprintf("%s failback %s", name, ev.Detail))
+			}
+		}
+	}
+	if crashes+reboots+hbs+deaths+recoveries+overs+backs == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\n  recovery: %d crashes, %d reboots, %d heartbeats, %d peer deaths, %d recoveries, %d failovers, %d failbacks\n",
+		crashes, reboots, hbs, deaths, recoveries, overs, backs)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
 }
 
 // threadRow is one line of the per-thread timeline table.

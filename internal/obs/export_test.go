@@ -159,3 +159,65 @@ func TestSummarizeRejectsGarbage(t *testing.T) {
 		t.Fatal("Summarize accepted garbage")
 	}
 }
+
+// fillRecoveryRecorder emits a synthetic crash-recovery history: a
+// crash, a warm reboot with heartbeats, a peer death + recovery seen
+// from the far side, and a failover/failback pair.
+func fillRecoveryRecorder() *Recorder {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 128)
+	clock.Advance(40_000_000)
+	r.EmitArg(MachineCrash, 0, "", "", "3 threads, 2 ports, 1 pending I/O, 0 unacked", 1)
+	clock.Advance(20_000_000)
+	r.EmitArg(PeerDeath, 0, "", "", "ne0", 0)
+	r.EmitArg(Failover, 7, "net-client/cli", "", "primary -> replica", 1)
+	clock.Advance(60_000_000)
+	r.EmitArg(MachineReboot, 0, "", "", "", 2)
+	r.EmitArg(Heartbeat, 3, "netmsg", "", "ne0", 2)
+	r.EmitArg(Heartbeat, 6, "netmsg1", "", "ne1", 2)
+	clock.Advance(1_000_000)
+	r.EmitArg(PeerDeath, 0, "", "", "ne0", 1)
+	r.EmitArg(Failover, 7, "net-client/cli", "", "replica -> primary", 0)
+	return r
+}
+
+// TestSummarizeRecoverySection is the traceview golden test for the
+// crash-recovery events: a synthetic trace must render the exact count
+// line and timeline.
+func TestSummarizeRecoverySection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, fillRecoveryRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Summarize(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := `  recovery: 1 crashes, 1 reboots, 2 heartbeats, 1 peer deaths, 1 recoveries, 1 failovers, 1 failbacks
+         40.00ms  crash of incarnation 1: 3 threads, 2 ports, 1 pending I/O, 0 unacked
+         60.00ms  peer on ne0 declared dead
+         60.00ms  net-client/cli failover primary -> replica
+        120.00ms  warm reboot as incarnation 2
+        121.00ms  peer on ne0 heard again
+        121.00ms  net-client/cli failback replica -> primary
+`
+	if !strings.Contains(out, golden) {
+		t.Fatalf("summary recovery section does not match golden.\nwant:\n%s\ngot:\n%s", golden, out)
+	}
+}
+
+// TestSummarizeNoRecoverySectionWhenClean: traces without recovery
+// events keep their historical shape.
+func TestSummarizeNoRecoverySectionWhenClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, fillRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Summarize(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "recovery:") {
+		t.Fatalf("clean trace grew a recovery section:\n%s", out)
+	}
+}

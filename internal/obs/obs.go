@@ -80,6 +80,26 @@ const (
 	// Abort records a thread_abort redirecting a blocked thread.
 	Abort
 
+	// Crash-recovery events (PR 5).
+
+	// MachineCrash records a whole-machine failure: Detail summarizes the
+	// panic record (threads killed, ports, pending I/O), Arg is the dying
+	// incarnation number.
+	MachineCrash
+	// MachineReboot records a warm reboot; Arg is the new incarnation.
+	MachineReboot
+	// Heartbeat records an explicit incarnation announcement transmitted
+	// by the netmsg membership layer (piggybacked heartbeats are implicit
+	// in ordinary traffic and not recorded).
+	Heartbeat
+	// PeerDeath records the membership layer declaring a silent peer dead
+	// (Detail names the link); Arg=1 marks the later recovery — the same
+	// peer heard from again with a newer incarnation.
+	PeerDeath
+	// Failover records an RPC client redirecting to its replica server
+	// (Arg=1) or failing back to the recovered primary (Arg=0).
+	Failover
+
 	numKinds
 )
 
@@ -136,6 +156,16 @@ func (k Kind) String() string {
 		return "fault-inject"
 	case Abort:
 		return "abort"
+	case MachineCrash:
+		return "machine-crash"
+	case MachineReboot:
+		return "machine-reboot"
+	case Heartbeat:
+		return "heartbeat"
+	case PeerDeath:
+		return "peer-death"
+	case Failover:
+		return "failover"
 	default:
 		return "unknown"
 	}

@@ -147,3 +147,21 @@ func (q *RunQueue) MaxQueuedPriority() (int, bool) {
 
 // Len reports the number of queued threads.
 func (q *RunQueue) Len() int { return q.count }
+
+// Queued returns the queued threads, highest priority first and FIFO
+// within a level — the order SelectThread would pop them. It allocates
+// and is meant for diagnostics (the watchdog's stall report), not for
+// scheduling decisions.
+func (q *RunQueue) Queued() []*core.Thread {
+	if q.count == 0 {
+		return nil
+	}
+	out := make([]*core.Thread, 0, q.count)
+	for pri := NumPriorities - 1; pri >= 0; pri-- {
+		r := &q.queues[pri]
+		for i := 0; i < r.n; i++ {
+			out = append(out, r.buf[(r.head+i)&(len(r.buf)-1)])
+		}
+	}
+	return out
+}

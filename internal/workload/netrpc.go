@@ -54,6 +54,19 @@ type NetRPCSpec struct {
 	// horizon round.
 	Clients int
 
+	// Failover boots the HA topology instead of client/server pairs: four
+	// machines — client, primary server, replica server, second client —
+	// where each client is wired to both servers, every link runs the
+	// reliable protocol, and the clients issue RPCs with a receive timeout
+	// so they can fail over to the replica when the primary goes silent
+	// (and fail back after its warm reboot). FaultSpec.Crashes machine
+	// indices name machines in that order.
+	Failover bool
+
+	// RPCTimeout is the per-attempt receive timeout of a failover client
+	// (DefaultRPCTimeout if zero).
+	RPCTimeout machine.Duration
+
 	// Parallel runs the cluster's horizon rounds with one goroutine per
 	// machine. Results are byte-identical to the sequential rounds.
 	Parallel bool
@@ -120,6 +133,10 @@ type NetRPCResult struct {
 
 	// Steps is the total cluster dispatcher steps taken.
 	Steps uint64
+
+	// Recovery is the crash/failover accounting, populated on every run
+	// (all zeros when no crashes were injected).
+	Recovery RecoveryStats
 }
 
 // netEchoServer answers echo RPCs arriving through the netmsg thread. Its
@@ -226,6 +243,9 @@ func (r *diskReader) Next(e *core.Env, t *core.Thread) core.Action {
 // deterministic: with the same spec the run is byte-identical regardless
 // of spec.Parallel or GOMAXPROCS.
 func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCResult {
+	if spec.Failover {
+		return runNetRPCFailover(flavor, arch, spec)
+	}
 	res, clis, pair0Readers := bootNetRPC(flavor, arch, spec)
 	cluster := kern.NewCluster(res.Machines...)
 	start := res.Client.K.Clock.Now()
@@ -237,7 +257,18 @@ func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCRe
 		res.DiskReadsDone[i] = rd.done
 	}
 	res.Elapsed = machine.Duration(res.Client.K.Clock.Now() - start)
+	res.Recovery.fill(res.Machines)
 	return res
+}
+
+// scheduleCrashes arms the spec's whole-machine crash events; indices
+// name positions in machines.
+func scheduleCrashes(machines []*kern.System, spec NetRPCSpec) {
+	for _, cr := range spec.FaultSpec.Crashes {
+		if cr.Machine >= 0 && cr.Machine < len(machines) {
+			machines[cr.Machine].ScheduleCrash(cr.At, cr.RebootAfter)
+		}
+	}
 }
 
 // bootNetRPC builds the cluster's machines and threads without driving
@@ -324,5 +355,6 @@ func bootNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) (*NetRPC
 	}
 
 	res.Client, res.Server = res.Machines[0], res.Machines[1]
+	scheduleCrashes(res.Machines, spec)
 	return res, clis, pair0Readers
 }

@@ -15,6 +15,9 @@ import (
 type NetRPCReportOptions struct {
 	Faults bool
 	Check  bool
+	// Failover labels the machines for the HA topology (client, primary,
+	// replica, client) and prints the recovery section.
+	Failover bool
 }
 
 // WriteNetRPCReport prints the per-machine block tables plus the device
@@ -28,6 +31,9 @@ func WriteNetRPCReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *
 
 	for i, sys := range res.Machines {
 		name := machineName(i, len(res.Machines))
+		if opt.Failover {
+			name = haMachineName(i)
+		}
 		st := sys.K.Stats
 		total := st.TotalBlocks()
 		fmt.Fprintf(w, "\n%s — %d blocking operations\n", name, total)
@@ -63,6 +69,42 @@ func WriteNetRPCReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *
 		fmt.Fprintf(w, "  kernel stacks: %.3f average in use, %d worst case\n",
 			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
 		writeFaultReport(w, sys, opt)
+	}
+	writeRecoveryReport(w, res, opt)
+}
+
+// writeRecoveryReport prints the cluster-wide crash/failover accounting
+// when the run injected crashes or ran the HA topology.
+func writeRecoveryReport(w io.Writer, res *NetRPCResult, opt NetRPCReportOptions) {
+	r := res.Recovery
+	if !opt.Failover && r.Crashes == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nrecovery:\n")
+	fmt.Fprintf(w, "  machine crashes %d, warm reboots %d\n", r.Crashes, r.Reboots)
+	fmt.Fprintf(w, "  peer deaths detected %d, recoveries %d\n", r.DeathsDetected, r.Recoveries)
+	fmt.Fprintf(w, "  failovers %d, failbacks %d, RPCs salvaged %d, abandoned %d\n",
+		r.Failovers, r.Failbacks, r.Salvaged, r.Failed)
+	fmt.Fprintf(w, "  stale packets dropped %d, heartbeats sent %d\n",
+		r.StaleDropped, r.Heartbeats)
+	for i, sys := range res.Machines {
+		if rec := sys.PanicRecord; rec != nil {
+			fmt.Fprintf(w, "  machine %d last %v\n", i, rec)
+		}
+	}
+}
+
+// haMachineName labels the failover topology's machines.
+func haMachineName(i int) string {
+	switch i {
+	case 0:
+		return "machine 0 (client)"
+	case 1:
+		return "machine 1 (primary)"
+	case 2:
+		return "machine 2 (replica)"
+	default:
+		return fmt.Sprintf("machine %d (client)", i)
 	}
 }
 
