@@ -1,17 +1,38 @@
 // machsim runs one of the paper's workloads on a chosen kernel flavor
 // and machine, then prints the control-transfer statistics in the format
-// of Tables 1 and 2.
+// of Tables 1 and 2 (single-machine workloads) or the cluster report
+// (multi-machine workloads).
 //
 // Usage:
 //
-//	machsim [-workload compile|build|dos|netrpc] [-flavor mk40|mk32|mach25]
-//	        [-arch ds3100|toshiba] [-scale f] [-seed n] [-v]
-//	        [-faults seed:spec] [-crash M@T[:reboot+N]] [-failover]
+//	machsim [-workload compile|build|dos|netrpc|kv|svcgraph]
+//	        [-flavor mk40|mk32|mach25] [-arch ds3100|toshiba]
+//	        [-scale f] [-seed n] [-v]
+//	        [-pairs n] [-clients n] [-parallel] [-failover]
+//	        [-faults seed:spec] [-crash M@T[:reboot+N]]
 //	        [-check] [-trace out.json] [-profile]
 //
-// The netrpc workload boots two machines joined by a NIC pair and runs
-// cross-machine echo RPCs through the in-kernel netmsg threads, printing
-// per-machine block tables plus the device subsystem's counters.
+// Workloads:
+//
+//   - compile, build, dos: the paper's single-machine workloads (Tables
+//     1 and 2); -scale and -seed apply.
+//   - netrpc: two machines joined by a NIC pair running cross-machine
+//     echo RPCs through the in-kernel netmsg threads. -pairs n boots n
+//     client/server pairs (2n machines); -clients n runs n client
+//     threads per client machine; -failover boots the 4-machine HA
+//     topology (client, primary, replica, client) instead.
+//   - kv: the replicated sharded key/value service — two client machines
+//     driving a primary/backup replica pair with epoch-numbered leases,
+//     fencing tokens and heartbeat-driven leader election. -clients sets
+//     the caller threads per client machine.
+//   - svcgraph: the multi-tier service graph — frontend -> cache ->
+//     replicated KV — reporting per-tier throughput and p50/p99 latency
+//     from the service histograms.
+//
+// Shared cluster flags: -parallel drives the machines on one goroutine
+// each (output stays byte-identical to the sequential driver); -crash
+// injects whole-machine crashes (below); -faults adds wire/device
+// faults.
 //
 // -faults installs a seeded deterministic fault plan, e.g.
 // "42:drop=0.1,devfail=0.05,devslow=0.1:2ms"; wire faults switch the
@@ -23,12 +44,16 @@
 // -crash M@T[:reboot+N] is sugar for a crash=… rule in the fault spec:
 // machine M halts at simulated offset T, dropping all in-flight state,
 // and (with :reboot+N) warm-reboots N later under a new incarnation. The
-// flag is repeatable and implies -failover, which boots the 4-machine HA
-// topology (client, primary, replica, client): clients detect the dead
-// server through the netmsg membership layer, fail over to the replica,
-// and fail back once the primary's reboot announcement arrives, so every
-// RPC still completes. The report gains a "recovery:" section with the
-// crash/failover accounting.
+// flag is repeatable. M is a machine index, or a role alias resolved
+// against the chosen workload: netrpc/kv accept client/primary/
+// replica(backup); svcgraph accepts frontend/cache/primary/
+// replica(backup). For netrpc, -crash implies -failover. Crashing the kv
+// primary for longer than the membership silence deadline (e.g. -crash
+// primary@40ms:reboot+160ms) forces a leader election on the backup and
+// a fencing rejection of the rebooted primary's stale lease epochs —
+// and every client op still completes. A shorter outage rides through
+// on the lease grant-back path with no election. The report gains a
+// "recovery:" section with the crash/failover accounting.
 //
 // -trace records every kernel event and writes a Chrome trace_event JSON
 // file (load it in Perfetto or chrome://tracing, or summarize it with
@@ -41,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/kern"
@@ -51,7 +77,7 @@ import (
 )
 
 var (
-	workloadName = flag.String("workload", "compile", "compile, build, dos, or netrpc")
+	workloadName = flag.String("workload", "compile", "compile, build, dos, netrpc, kv, or svcgraph")
 	flavorName   = flag.String("flavor", "mk40", "mk40, mk32, or mach25")
 	archName     = flag.String("arch", "toshiba", "ds3100 or toshiba")
 	scale        = flag.Float64("scale", 0.25, "fraction of the paper's duration to simulate")
@@ -66,21 +92,54 @@ var (
 	parallel     = flag.Bool("parallel", false, "netrpc: run machines on goroutines (byte-identical output)")
 	failover     = flag.Bool("failover", false, "netrpc: boot the 4-machine HA topology (client/primary/replica/client)")
 
-	// crashes collects the repeatable -crash flag; each use is sugar for a
-	// crash=… rule in the -faults spec.
-	crashes []fault.Crash
+	// crashFlags collects the repeatable -crash flag's raw values; each is
+	// sugar for a crash=… rule in the -faults spec. The machine part may
+	// be a role alias (primary, cache, …), which only resolves once the
+	// workload is known — so parsing is deferred to resolveCrashes.
+	crashFlags []string
 )
 
 func init() {
-	flag.Func("crash", "netrpc: crash machine M at offset T, e.g. 1@40ms:reboot+80ms (repeatable, implies -failover)",
+	flag.Func("crash", "crash machine M (index or role alias) at offset T, e.g. primary@40ms:reboot+80ms (repeatable; implies -failover for netrpc)",
 		func(val string) error {
-			c, err := fault.ParseCrash(val)
-			if err != nil {
-				return err
-			}
-			crashes = append(crashes, c)
+			crashFlags = append(crashFlags, val)
 			return nil
 		})
+}
+
+// crashAliases maps each cluster workload's role names to machine
+// indices in its topology.
+var crashAliases = map[string]map[string]int{
+	"netrpc": {
+		"client": 0, "primary": 1, "replica": 2, "backup": 2,
+	},
+	"kv": {
+		"client": 0, "primary": 1, "replica": 2, "backup": 2,
+	},
+	"svcgraph": {
+		"frontend": 0, "cache": 1, "primary": 2, "replica": 3, "backup": 3,
+	},
+}
+
+// resolveCrashes parses the collected -crash flags for the chosen
+// workload, translating role aliases into machine indices first.
+func resolveCrashes(workloadName string) []fault.Crash {
+	aliases := crashAliases[workloadName]
+	out := make([]fault.Crash, 0, len(crashFlags))
+	for _, val := range crashFlags {
+		if at := strings.IndexByte(val, '@'); at > 0 {
+			if idx, ok := aliases[strings.TrimSpace(val[:at])]; ok {
+				val = fmt.Sprintf("%d%s", idx, val[at:])
+			}
+		}
+		c, err := fault.ParseCrash(val)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 func main() {
@@ -121,10 +180,17 @@ func main() {
 		}
 	}
 
-	faultSpec.Crashes = append(faultSpec.Crashes, crashes...)
+	faultSpec.Crashes = append(faultSpec.Crashes, resolveCrashes(*workloadName)...)
 
-	if *workloadName == "netrpc" {
+	switch *workloadName {
+	case "netrpc":
 		runNetRPC(flavor, arch, faultSeed, faultSpec)
+		return
+	case "kv":
+		runKV(flavor, arch, faultSeed, faultSpec)
+		return
+	case "svcgraph":
+		runSvcGraph(flavor, arch, faultSeed, faultSpec)
 		return
 	}
 
@@ -291,6 +357,71 @@ func runNetRPC(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpe
 
 	recs := make([]*obs.Recorder, len(res.Machines))
 	for i, sys := range res.Machines {
+		recs[i] = sys.K.Obs
+	}
+	emitObservations(recs...)
+}
+
+// runKV drives the replicated sharded KV workload and prints its
+// service-level report plus the per-machine block tables.
+func runKV(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fault.Spec) {
+	spec := workload.DefaultKV()
+	spec.FaultSeed = faultSeed
+	spec.FaultSpec = faultSpec
+	if flagWasSet("clients") {
+		spec.Clients = *clients
+	}
+	if flagWasSet("seed") {
+		spec.Seed = *seed
+	}
+	spec.Parallel = *parallel
+	spec.DebugChecks = *check
+	res := workload.RunKV(flavor, arch, spec)
+
+	workload.WriteKVReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
+		Faults: *faultsFlag != "" || len(faultSpec.Crashes) > 0, Check: *check,
+	})
+	emitClusterObservations(res.Machines)
+}
+
+// runSvcGraph drives the multi-tier service-graph workload.
+func runSvcGraph(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fault.Spec) {
+	spec := workload.DefaultSvcGraph()
+	spec.FaultSeed = faultSeed
+	spec.FaultSpec = faultSpec
+	if flagWasSet("clients") {
+		spec.Frontends = *clients
+	}
+	if flagWasSet("seed") {
+		spec.Seed = *seed
+	}
+	spec.Parallel = *parallel
+	spec.DebugChecks = *check
+	res := workload.RunSvcGraph(flavor, arch, spec)
+
+	workload.WriteSvcGraphReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
+		Faults: *faultsFlag != "" || len(faultSpec.Crashes) > 0, Check: *check,
+	})
+	emitClusterObservations(res.Machines)
+}
+
+// flagWasSet reports whether the named flag appeared on the command
+// line — spec defaults only yield to explicit overrides.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// emitClusterObservations forwards every machine's recorder to
+// emitObservations.
+func emitClusterObservations(machines []*kern.System) {
+	recs := make([]*obs.Recorder, len(machines))
+	for i, sys := range machines {
 		recs[i] = sys.K.Obs
 	}
 	emitObservations(recs...)

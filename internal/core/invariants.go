@@ -6,7 +6,7 @@ import (
 	"repro/internal/machine"
 )
 
-// Validate checks the kernel's structural invariants (DESIGN.md §6).
+// Validate checks the kernel's structural invariants (DESIGN.md §7).
 // It returns the first violation found, or nil. The checker is meant to
 // run between dispatcher steps — the only points where the machine is in
 // a consistent state — and is used by the randomized stress tests.

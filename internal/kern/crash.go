@@ -187,6 +187,9 @@ func (s *System) Reboot() {
 	if r := s.K.Obs; r != nil {
 		r.EmitArg(obs.MachineReboot, 0, "", "", "", int(s.Incarnation))
 	}
+	for _, svc := range s.services {
+		svc.install(s)
+	}
 	if s.OnReboot != nil {
 		s.OnReboot(s)
 	}

@@ -192,6 +192,12 @@ type System struct {
 	// re-exports their ports.
 	OnReboot func(*System)
 
+	// services are the named installers RegisterService has recorded; a
+	// warm reboot re-runs them in registration order (before OnReboot),
+	// so several services on one machine all respawn without clobbering
+	// a single hook.
+	services []namedService
+
 	// Watchdog is the stall/deadlock watchdog, nil unless EnableWatchdog
 	// was called; it survives reboots (re-registering on each boot).
 	Watchdog *Watchdog
@@ -238,6 +244,36 @@ type System struct {
 	// reboots.
 	CrashCount uint64
 	Reboots    uint64
+}
+
+// namedService pairs a service name with its boot installer.
+type namedService struct {
+	name    string
+	install func(*System)
+}
+
+// RegisterService records a named service installer and runs it now.
+// An installer is the boot script of a machine-resident service (a KV
+// replica, a cache tier, a load generator): it creates the service's
+// tasks, threads and port exports against the current incarnation's
+// substrates. After a crash, Reboot re-runs every installer in
+// registration order on the fresh incarnation — the service-level
+// analogue of init respawning daemons. State an installer closes over
+// survives the crash (the workload's "persistent" metadata); state it
+// creates fresh each call is the incarnation's volatile memory.
+func (s *System) RegisterService(name string, install func(*System)) {
+	s.services = append(s.services, namedService{name: name, install: install})
+	install(s)
+}
+
+// Services returns the names of the registered service installers, in
+// registration order.
+func (s *System) Services() []string {
+	out := make([]string, len(s.services))
+	for i, svc := range s.services {
+		out[i] = svc.name
+	}
+	return out
 }
 
 // Task is an address space plus a name for its threads.

@@ -260,7 +260,7 @@ func Summarize(data []byte) (string, error) {
 // holds no recovery events, so pre-crash traces keep their exact shape.
 func writeRecoverySection(b *bytes.Buffer, m *MachineEvents) {
 	var lines []string
-	var crashes, reboots, hbs, deaths, recoveries, overs, backs int
+	var crashes, reboots, hbs, deaths, recoveries, overs, backs, elections, fences int
 	add := func(when machine.Time, what string) {
 		lines = append(lines, fmt.Sprintf("    %12s  %s", fmtNS(uint64(when)), what))
 	}
@@ -294,13 +294,22 @@ func writeRecoverySection(b *bytes.Buffer, m *MachineEvents) {
 				backs++
 				add(ev.When, fmt.Sprintf("%s failback %s", name, ev.Detail))
 			}
+		case Election:
+			elections++
+			add(ev.When, fmt.Sprintf("election: %s -> epoch %d", ev.Detail, ev.Arg))
+		case Fencing:
+			fences++
+			add(ev.When, fmt.Sprintf("fencing rejection: %s (stale epoch %d)", ev.Detail, ev.Arg))
 		}
 	}
-	if crashes+reboots+hbs+deaths+recoveries+overs+backs == 0 {
+	if crashes+reboots+hbs+deaths+recoveries+overs+backs+elections+fences == 0 {
 		return
 	}
 	fmt.Fprintf(b, "\n  recovery: %d crashes, %d reboots, %d heartbeats, %d peer deaths, %d recoveries, %d failovers, %d failbacks\n",
 		crashes, reboots, hbs, deaths, recoveries, overs, backs)
+	if elections+fences > 0 {
+		fmt.Fprintf(b, "  services: %d elections, %d fencing rejections\n", elections, fences)
+	}
 	for _, l := range lines {
 		b.WriteString(l)
 		b.WriteByte('\n')

@@ -100,6 +100,17 @@ const (
 	// (Arg=1) or failing back to the recovered primary (Arg=0).
 	Failover
 
+	// Distributed-service events (internal/svc).
+
+	// Election records a replica promoting itself to leader of a shard
+	// group after the membership layer declared the old leader dead:
+	// Detail names the group, Arg is the new lease epoch.
+	Election
+	// Fencing records a lease fencing rejection: a replica refused a
+	// request carrying a stale epoch token (a deposed or rebooted
+	// leader's traffic). Detail names the group, Arg the rejected epoch.
+	Fencing
+
 	numKinds
 )
 
@@ -166,6 +177,10 @@ func (k Kind) String() string {
 		return "peer-death"
 	case Failover:
 		return "failover"
+	case Election:
+		return "election"
+	case Fencing:
+		return "fencing"
 	default:
 		return "unknown"
 	}
@@ -331,6 +346,11 @@ type Recorder struct {
 	Hist [NumLatencies]*Histogram
 
 	conts map[string]*ContProfile
+
+	// svc holds the named service-level histograms (per-tier request
+	// latencies maintained by workload code via Service, not by kernel
+	// events).
+	svc map[string]*Histogram
 
 	// Online latency state, keyed by thread id. Thread ids are small
 	// sequential ints and these are touched on every event, so dense
@@ -558,6 +578,37 @@ func (r *Recorder) Profiles() []*ContProfile {
 // seen.
 func (r *Recorder) Profile(name string) *ContProfile { return r.conts[name] }
 
+// Service returns (creating on first use) the named service-level
+// histogram. Distributed-service workloads observe per-tier request
+// latencies into these ("frontend", "cache.fetch", "kv.op"), so tail
+// latency under fault plans comes out of the same report machinery as
+// the kernel's own histograms.
+func (r *Recorder) Service(name string) *Histogram {
+	if r.svc == nil {
+		r.svc = make(map[string]*Histogram)
+	}
+	h, ok := r.svc[name]
+	if !ok {
+		h = &Histogram{Name: name}
+		r.svc[name] = h
+	}
+	return h
+}
+
+// ServiceHistograms returns the service-level histograms sorted by name
+// (deterministic report order); empty when no workload observed any.
+func (r *Recorder) ServiceHistograms() []*Histogram {
+	if len(r.svc) == 0 {
+		return nil
+	}
+	out := make([]*Histogram, 0, len(r.svc))
+	for _, h := range r.svc {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Reset discards all retained events and recorded statistics, keeping
 // the recorder attached.
 func (r *Recorder) Reset() {
@@ -570,6 +621,7 @@ func (r *Recorder) Reset() {
 		r.Hist[i] = &Histogram{Name: Latency(i).String()}
 	}
 	r.conts = make(map[string]*ContProfile)
+	r.svc = nil
 	r.blockedAt = nil
 	r.runnableAt = nil
 	r.stackSince = nil
@@ -607,6 +659,63 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the power-of-two
+// buckets: it finds the bucket holding the q*Count-th sample and
+// interpolates linearly within it, clamped to the observed min/max. The
+// estimate is deterministic for a deterministic event stream, so p50/p99
+// lines in reports survive the byte-identity diffs.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q*float64(h.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.Count {
+		target = h.Count
+	}
+	var cum uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := BucketBounds(i)
+			frac := float64(target-cum) / float64(n)
+			v := uint64(float64(lo) + frac*float64(hi-lo))
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum += n
+	}
+	return h.Max
+}
+
+// Merge folds another histogram's samples into h (bucket-wise), so a
+// report can aggregate the same tier across machines.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	for i, n := range o.Buckets {
+		h.Buckets[i] += n
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
 }
 
 // BucketBounds returns bucket i's half-open range [lo, hi); the last

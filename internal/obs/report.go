@@ -31,6 +31,12 @@ func (r *Recorder) WriteReport(w io.Writer) {
 	for i := range r.Hist {
 		writeHistogram(w, r.Hist[i])
 	}
+	if svc := r.ServiceHistograms(); len(svc) > 0 {
+		fmt.Fprintf(w, "\nservice latency histograms (per tier):\n")
+		for _, h := range svc {
+			writeServiceHistogram(w, h)
+		}
+	}
 	if r.Dropped > 0 {
 		fmt.Fprintf(w, "\nevent ring: %d event(s) evicted; histograms and profiles cover the full run\n",
 			r.Dropped)
@@ -66,6 +72,17 @@ func writeHistogram(w io.Writer, h *Histogram) {
 	}
 }
 
+// writeServiceHistogram renders a per-tier histogram with its quantile
+// summary line (tail latency is the point of the service histograms).
+func writeServiceHistogram(w io.Writer, h *Histogram) {
+	if h.Count == 0 {
+		fmt.Fprintf(w, "  %-18s (no samples)\n", h.Name)
+		return
+	}
+	fmt.Fprintf(w, "  %-18s count %d, p50 %s, p99 %s, max %s\n",
+		h.Name, h.Count, fmtNS(h.Quantile(0.50)), fmtNS(h.Quantile(0.99)), fmtNS(h.Max))
+}
+
 const barWidth = 25
 
 func barFor(n, peak uint64) string {
@@ -82,6 +99,11 @@ func barFor(n, peak uint64) string {
 	}
 	return string(out)
 }
+
+// FmtNS renders a nanosecond quantity with a human unit — the exact
+// formatting the profile report uses, exported so workload reports print
+// latencies identically.
+func FmtNS(v uint64) string { return fmtNS(v) }
 
 // fmtNS renders a nanosecond quantity with a human unit, deterministic
 // fixed-precision formatting.

@@ -1,0 +1,270 @@
+package svc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+)
+
+// CachePortName is the wire name the cache tier exports.
+const CachePortName = "cache"
+
+// CacheStats counts cache-tier events across the machine's lifetime
+// (referenced from CacheConfig, so it survives crashes).
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	WriteThroughs uint64
+	Evictions     uint64
+}
+
+// CacheConfig is the durable configuration of the cache tier: a pool of
+// worker threads sharing one exported port and one capacity-bounded
+// store, each worker fronting the replicated KV through its own embedded
+// one-shot Caller. The cached entries themselves are volatile — a cache
+// machine crash empties it, and the misses refill from the KV backend.
+type CacheConfig struct {
+	Map ShardMap
+	// Links maps replica rank -> this machine's link to that replica.
+	Links [NumRanks]int
+	// Workers is the cache thread-pool size; Capacity the entry bound.
+	Workers  int
+	Capacity int
+	// Frontends is the number of frontend threads that will report done.
+	Frontends int
+	// FirstClientID is worker 0's global client id for the KV done
+	// protocol (worker i uses FirstClientID+i).
+	FirstClientID int
+	// Timeout overrides the workers' KV attempt timeout; Tick their idle
+	// receive period; IdleExit the no-traffic give-up horizon.
+	Timeout  machine.Duration
+	Tick     machine.Duration
+	IdleExit machine.Duration
+	Stats    *CacheStats
+
+	// Durable done bits, for the same reason the replica's are durable:
+	// an exited frontend never resends its done.
+	done     []bool
+	doneLeft int
+}
+
+func (c *CacheConfig) tick() machine.Duration {
+	if c.Tick > 0 {
+		return c.Tick
+	}
+	return DefaultRenewEvery
+}
+
+func (c *CacheConfig) idleExit() machine.Duration {
+	if c.IdleExit > 0 {
+		return c.IdleExit
+	}
+	return DefaultIdleExit
+}
+
+// cacheShared is the per-incarnation state the worker pool shares:
+// the entry map with its FIFO eviction ring, and the machine-wide
+// activity clock that gates the idle exit.
+type cacheShared struct {
+	entries      map[uint64]uint64
+	ring         []uint64
+	lastActivity machine.Time
+}
+
+// install puts (or refreshes) one entry, evicting in FIFO insert order
+// at capacity. No map iteration — eviction order is the ring's.
+func (sh *cacheShared) install(cfg *CacheConfig, key, val uint64) {
+	if _, ok := sh.entries[key]; ok {
+		sh.entries[key] = val
+		return
+	}
+	if cfg.Capacity > 0 && len(sh.entries) >= cfg.Capacity {
+		old := sh.ring[0]
+		sh.ring = sh.ring[1:]
+		delete(sh.entries, old)
+		cfg.Stats.Evictions++
+	}
+	sh.entries[key] = val
+	sh.ring = append(sh.ring, key)
+}
+
+// InstallCache boots the cache tier on a machine: the shared port and
+// store, plus cfg.Workers worker threads. Registered through
+// kern.RegisterService it reruns on warm reboot — the workers come back,
+// the cache comes back empty.
+func InstallCache(s *kern.System, cfg *CacheConfig) {
+	if cfg.Stats == nil {
+		cfg.Stats = &CacheStats{}
+	}
+	if cfg.done == nil {
+		cfg.done = make([]bool, cfg.Frontends)
+		cfg.doneLeft = cfg.Frontends
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	sh := &cacheShared{
+		entries:      make(map[uint64]uint64),
+		lastActivity: s.K.Clock.Now(),
+	}
+	task := s.NewTask("cache")
+	port := s.IPC.NewPort(CachePortName)
+	port.QueueLimit = 64
+	for _, n := range s.Links {
+		n.Export(CachePortName, port)
+	}
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("cache-w%d", i)
+		kv := &Caller{
+			Sys: s, Name: name, ID: cfg.FirstClientID + i,
+			Map: cfg.Map, Links: cfg.Links, Timeout: cfg.Timeout,
+			HistName: "cache.fetch", OneShot: true,
+		}
+		kv.Reset(s)
+		w := &cacheWorker{sys: s, cfg: cfg, sh: sh, port: port, kv: kv}
+		s.Start(task.NewThread(name, w, 18))
+	}
+}
+
+// cacheWorker serves cache requests from the shared port: hits answer
+// immediately; misses and write-throughs run one operation against the
+// KV backend through the embedded one-shot caller, then reply. Between
+// requests the worker blocks on the port with a tick timeout so it
+// notices done/idle transitions.
+type cacheWorker struct {
+	sys  *kern.System
+	cfg  *CacheConfig
+	sh   *cacheShared
+	port *ipc.Port
+	kv   *Caller
+
+	cur      *Wire
+	curReply *ipc.Port
+	pend     *outbound
+	inKV     bool
+	finished bool
+
+	recvAct  core.Action
+	replyAct core.Action
+}
+
+func (w *cacheWorker) Next(e *core.Env, t *core.Thread) core.Action {
+	if w.recvAct.Invoke == nil {
+		w.recvAct = core.Syscall("mach_msg(cache-recv)", func(e *core.Env) {
+			w.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				ReceiveFrom: w.port, RcvTimeout: w.cfg.tick(),
+			})
+		})
+		w.replyAct = core.Syscall("mach_msg(cache-reply)", func(e *core.Env) {
+			p := w.pend
+			w.pend = nil
+			msg := w.sys.IPC.NewMessage(p.opid, wireBytes(p.w), p.w, nil)
+			w.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: msg, SendTo: p.to,
+				ReceiveFrom: w.port, RcvTimeout: w.cfg.tick(),
+			})
+		})
+	}
+	if w.inKV {
+		act, fin := w.kv.Step(e, t)
+		if !fin {
+			return act
+		}
+		w.inKV = false
+		if w.finished {
+			return core.Exit()
+		}
+		w.finishKV()
+	}
+	if m := w.sys.IPC.Received(t); m != nil {
+		w.handle(m)
+		if w.inKV {
+			act, _ := w.kv.Step(e, t)
+			return act
+		}
+	}
+	if w.pend != nil {
+		return w.replyAct
+	}
+	now := w.sys.K.Clock.Now()
+	if w.cfg.doneLeft == 0 {
+		// Every frontend is done: report this worker's own completion to
+		// the KV replicas, then exit.
+		w.finished = true
+		w.inKV = true
+		w.kv.StartDone()
+		act, _ := w.kv.Step(e, t)
+		return act
+	}
+	if now-w.sh.lastActivity >= w.cfg.idleExit() {
+		return core.Exit()
+	}
+	return w.recvAct
+}
+
+// handle processes one frontend message.
+func (w *cacheWorker) handle(m *ipc.Message) {
+	req, ok := m.Body.(*Wire)
+	reply := m.Reply
+	w.sys.IPC.FreeMessage(m)
+	if !ok {
+		return
+	}
+	w.sh.lastActivity = w.sys.K.Clock.Now()
+	switch req.Kind {
+	case MsgDone:
+		idx := req.From
+		if idx >= 0 && idx < len(w.cfg.done) && !w.cfg.done[idx] {
+			w.cfg.done[idx] = true
+			w.cfg.doneLeft--
+		}
+		if reply != nil {
+			w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit,
+				w: &Wire{Kind: MsgReply, OpID: req.OpID, Found: true}}
+		}
+
+	case MsgCacheReq, MsgClientOp:
+		if reply == nil {
+			return
+		}
+		if req.Op == OpGet {
+			if val, ok := w.sh.entries[req.Key]; ok {
+				w.cfg.Stats.Hits++
+				w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit,
+					w: &Wire{Kind: MsgCacheReply, OpID: req.OpID,
+						Key: req.Key, Val: val, Found: true}}
+				return
+			}
+			w.cfg.Stats.Misses++
+		} else {
+			w.cfg.Stats.WriteThroughs++
+		}
+		w.cur = req
+		w.curReply = reply
+		w.inKV = true
+		w.kv.StartOp(KVOp{Op: req.Op, Key: req.Key, Val: req.Val})
+	}
+}
+
+// finishKV answers the frontend once the backend operation resolved.
+func (w *cacheWorker) finishKV() {
+	req, reply := w.cur, w.curReply
+	w.cur, w.curReply = nil, nil
+	out := &Wire{Kind: MsgCacheReply, OpID: req.OpID, Key: req.Key}
+	if req.Op == OpGet {
+		if w.kv.LastOK && w.kv.LastFound {
+			w.sh.install(w.cfg, req.Key, w.kv.LastVal)
+			out.Found, out.Val = true, w.kv.LastVal
+		}
+	} else {
+		out.Found = w.kv.LastOK
+		if w.kv.LastOK {
+			w.sh.install(w.cfg, req.Key, req.Val)
+		}
+	}
+	w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit, w: out}
+}

@@ -1,0 +1,332 @@
+package svc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// DefaultCallTimeout is a caller's per-attempt receive timeout: long
+// enough that queueing never trips it, short against the membership
+// deadline so a dead server is probed again promptly.
+const DefaultCallTimeout = machine.Duration(10 * 1000 * 1000) // 10 ms
+
+// CallerMaxAttempts bounds retries per operation so a cluster whose
+// replicas all die without reboot still quiesces.
+const CallerMaxAttempts = 64
+
+// KVOp is one scripted client operation.
+type KVOp struct {
+	Op       Op
+	Key, Val uint64
+}
+
+// CallerStats is one caller's lifetime accounting.
+type CallerStats struct {
+	Done       int    // operations acknowledged
+	Failed     int    // operations abandoned after CallerMaxAttempts
+	Redirects  uint64 // NotLeader replies that updated the leader map
+	Failovers  uint64 // believed-leader flips after a peer-death timeout
+	Salvaged   uint64 // operations that needed more than one attempt
+	Mismatches uint64 // Gets that contradicted this caller's acked Puts
+}
+
+// caller phases: run the op script, then report done to each replica,
+// then exit. A one-shot caller (the cache tier's embedded client) parks
+// between operations instead, and its host drives the done protocol
+// explicitly.
+const (
+	phaseOps = iota
+	phaseDone
+	phaseExit
+	phaseParked
+)
+
+// Caller runs a scripted sequence of KV operations against the replica
+// group from a client machine: it routes each key to the believed leader
+// of its shard group, adopts NotLeader hints, and on a timeout consults
+// the link's membership state to fail over — the haClient pattern
+// generalized to per-group leadership. All state lives on the program
+// object, so the same caller survives its own machine's crash; the
+// reboot script calls Reset and restarts the thread, and it resumes at
+// the operation it was on.
+//
+// Consistency bookkeeping: every caller owns a disjoint key range, so an
+// acknowledged Put fixes the value any later Get must see; divergence is
+// counted in Stats.Mismatches (an abandoned Put releases its key — the
+// write may or may not have landed).
+type Caller struct {
+	Sys  *kern.System
+	Name string
+	// ID is this caller's global index among all client threads — the
+	// done protocol's identity.
+	ID  int
+	Map ShardMap
+	// Links maps replica rank -> this machine's link index.
+	Links [NumRanks]int
+	// Timeout overrides the per-attempt receive timeout when nonzero.
+	Timeout machine.Duration
+	// Port overrides the wire name the caller targets (PortName if empty)
+	// — the service-graph frontends aim at the cache tier's port instead.
+	Port string
+	// HistName, when nonempty, names the service histogram end-to-end
+	// operation latency is observed into (e.g. "kv.op").
+	HistName string
+	Ops      []KVOp
+	// OneShot parks the caller after each completed operation instead of
+	// moving on to the done protocol; the host (a cache worker) submits
+	// operations with StartOp and reads Last* for the outcome.
+	OneShot bool
+	// Track enables the acked-Put/Get consistency bookkeeping; only valid
+	// when this caller's keys are written by nobody else.
+	Track bool
+
+	Stats CallerStats
+
+	// Last* report the most recently completed one-shot operation.
+	LastOK    bool
+	LastFound bool
+	LastVal   uint64
+
+	reply    *ipc.Port
+	believed []int
+	phase    int
+	idx      int
+	doneRank int
+	attempts int
+	opid     uint32
+	waiting  bool
+	started  machine.Time
+	acked    map[uint64]uint64
+
+	sendAct  core.Action
+	drainAct core.Action
+}
+
+// Reset re-arms the caller for a (re)booted incarnation of its machine:
+// fresh reply port, no in-flight attempt. Script position and
+// consistency bookkeeping are retained — they are the caller's durable
+// identity.
+func (c *Caller) Reset(s *kern.System) {
+	c.reply = s.IPC.NewPort(c.Name + "-reply")
+	c.waiting = false
+	c.attempts = 0
+}
+
+func (c *Caller) timeout() machine.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultCallTimeout
+}
+
+// group returns the shard group the current operation routes to.
+func (c *Caller) group() int { return c.Map.GroupOfKey(c.Ops[c.idx].Key) }
+
+// portName resolves the wire name the caller targets.
+func (c *Caller) portName() string {
+	if c.Port != "" {
+		return c.Port
+	}
+	return PortName
+}
+
+// target resolves the current attempt's destination proxy port.
+func (c *Caller) target() *ipc.Port {
+	rank := c.doneRank
+	if c.phase == phaseOps {
+		rank = c.believed[c.group()]
+	}
+	return c.Sys.Links[c.Links[rank]].ProxyFor(c.portName())
+}
+
+// buildWire renders the current attempt's request.
+func (c *Caller) buildWire() *Wire {
+	if c.phase == phaseDone {
+		return &Wire{Kind: MsgDone, From: c.ID, OpID: c.opid}
+	}
+	op := c.Ops[c.idx]
+	return &Wire{Kind: MsgClientOp, OpID: c.opid, Op: op.Op, Key: op.Key, Val: op.Val}
+}
+
+func (c *Caller) Next(e *core.Env, t *core.Thread) core.Action {
+	act, fin := c.Step(e, t)
+	if fin {
+		return core.Exit()
+	}
+	return act
+}
+
+// StartOp submits one operation to a parked one-shot caller.
+func (c *Caller) StartOp(op KVOp) {
+	c.Ops = append(c.Ops[:0], op)
+	c.idx = 0
+	c.phase = phaseOps
+	c.attempts = 0
+	c.waiting = false
+}
+
+// StartDone moves a parked one-shot caller into the done protocol; Step
+// reports finished once every replica has acknowledged (or given up on).
+func (c *Caller) StartDone() {
+	c.phase = phaseDone
+	c.doneRank = 0
+	c.attempts = 0
+	c.waiting = false
+}
+
+// Step advances the caller one dispatch: it returns the next blocking
+// action, or finished=true when there is nothing left to do (script and
+// done protocol complete, or a one-shot operation parked).
+func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
+	if c.sendAct.Invoke == nil {
+		if c.believed == nil {
+			c.believed = make([]int, c.Map.Groups)
+			for g := range c.believed {
+				c.believed[g] = c.Map.InitialLeader(g)
+			}
+			c.acked = make(map[uint64]uint64)
+		}
+		c.sendAct = core.Syscall("mach_msg(kv-call)", func(e *core.Env) {
+			w := c.buildWire()
+			msg := c.Sys.IPC.NewMessage(c.opid, wireBytes(w), w, c.reply)
+			c.Sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: msg, SendTo: c.target(),
+				ReceiveFrom: c.reply, RcvTimeout: c.timeout(),
+			})
+		})
+		c.drainAct = core.Syscall("mach_msg(kv-drain)", func(e *core.Env) {
+			c.Sys.IPC.MachMsg(e, ipc.MsgOptions{
+				ReceiveFrom: c.reply, RcvTimeout: c.timeout(),
+			})
+		})
+	}
+	if c.waiting {
+		if m := c.Sys.IPC.Received(t); m != nil {
+			if m.OpID != c.opid|ReplyOpBit {
+				// A late reply to an already-retried attempt; keep draining
+				// for the current one.
+				c.Sys.IPC.FreeMessage(m)
+				return c.drainAct, false
+			}
+			w, _ := m.Body.(*Wire)
+			c.Sys.IPC.FreeMessage(m)
+			c.waiting = false
+			switch {
+			case w == nil:
+				// Malformed reply; retry.
+			case w.NotLeader && c.phase == phaseOps:
+				g := c.group()
+				if w.Leader >= 0 && w.Leader < NumRanks && w.Leader != c.believed[g] {
+					c.believed[g] = w.Leader
+					c.Stats.Redirects++
+				}
+			default:
+				c.complete(w, t)
+			}
+		} else {
+			// Timed out. A silent believed leader that the membership layer
+			// has declared dead means the lease has expired: flip to the
+			// other rank, which will have elected itself.
+			if c.phase == phaseOps {
+				g := c.group()
+				if !c.Sys.Links[c.Links[c.believed[g]]].PeerAlive() {
+					c.believed[g] = NumRanks - 1 - c.believed[g]
+					c.Stats.Failovers++
+					if r := c.Sys.K.Obs; r != nil {
+						r.EmitArg(obs.Failover, t.ID, t.Name, "",
+							fmt.Sprintf("group %d -> rank %d", g, c.believed[g]), 1)
+					}
+				}
+			}
+			if c.attempts >= CallerMaxAttempts {
+				c.abandon()
+			}
+			c.waiting = false
+		}
+	}
+	if !c.waiting && (c.phase == phaseExit || c.phase == phaseParked) {
+		return core.Action{}, true
+	}
+	if c.attempts == 0 {
+		c.started = c.Sys.K.Clock.Now()
+	}
+	c.attempts++
+	c.waiting = true
+	c.opid = (c.opid + 1) & (ReplyOpBit - 1)
+	if c.opid == 0 {
+		c.opid = 1
+	}
+	return c.sendAct, false
+}
+
+// complete finishes the current operation on a matching acknowledgement.
+func (c *Caller) complete(w *Wire, t *core.Thread) {
+	if c.phase == phaseDone {
+		c.doneRank++
+		c.attempts = 0
+		if c.doneRank >= NumRanks {
+			c.phase = phaseExit
+		}
+		return
+	}
+	op := c.Ops[c.idx]
+	c.Stats.Done++
+	if c.attempts > 1 {
+		c.Stats.Salvaged++
+	}
+	if c.HistName != "" {
+		if r := c.Sys.K.Obs; r != nil {
+			r.Service(c.HistName).Observe(uint64(c.Sys.K.Clock.Now() - c.started))
+		}
+	}
+	c.LastOK, c.LastFound, c.LastVal = true, w.Found, w.Val
+	if c.Track {
+		if op.Op == OpGet {
+			if want, ok := c.acked[op.Key]; ok && (!w.Found || w.Val != want) {
+				c.Stats.Mismatches++
+			}
+		} else {
+			c.acked[op.Key] = op.Val
+		}
+	}
+	c.advance()
+}
+
+// abandon gives up on the current operation after the attempt cap.
+func (c *Caller) abandon() {
+	if c.phase == phaseDone {
+		c.doneRank++
+		c.attempts = 0
+		if c.doneRank >= NumRanks {
+			c.phase = phaseExit
+		}
+		return
+	}
+	c.Stats.Failed++
+	c.LastOK, c.LastFound = false, false
+	if c.Track && c.Ops[c.idx].Op == OpPut {
+		// The write may or may not have landed; the key proves nothing
+		// about later reads anymore.
+		delete(c.acked, c.Ops[c.idx].Key)
+	}
+	c.advance()
+}
+
+func (c *Caller) advance() {
+	c.idx++
+	c.attempts = 0
+	if c.idx < len(c.Ops) {
+		return
+	}
+	if c.OneShot {
+		c.phase = phaseParked
+		return
+	}
+	c.phase = phaseDone
+	c.doneRank = 0
+}

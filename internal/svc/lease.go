@@ -1,0 +1,124 @@
+package svc
+
+// Lease is one group's current lease: the epoch is the fencing token —
+// every replicate/renew carries its sender's epoch, and a receiver holding
+// a higher one refuses the request, which is what makes a deposed
+// primary's writes harmless no matter how late its packets arrive.
+type Lease struct {
+	Epoch  uint64
+	Leader int
+}
+
+// LeaseTable is the per-group lease state. It models the durable lease
+// metadata a real deployment would fsync: the table lives in the replica's
+// install-time configuration, not in the per-incarnation Replica object,
+// so a warm reboot comes back remembering the epochs it had granted and
+// held — which is exactly what forces the rejoin handshake to fence it.
+type LeaseTable struct {
+	L []Lease
+}
+
+// NewLeaseTable starts every group at epoch 1 under its boot-time leader.
+func NewLeaseTable(m ShardMap) *LeaseTable {
+	t := &LeaseTable{L: make([]Lease, m.Groups)}
+	for g := range t.L {
+		t.L[g] = Lease{Epoch: 1, Leader: m.InitialLeader(g)}
+	}
+	return t
+}
+
+// Epochs snapshots the epoch column (a rejoin probe's payload).
+func (t *LeaseTable) Epochs() []uint64 {
+	out := make([]uint64, len(t.L))
+	for g, l := range t.L {
+		out[g] = l.Epoch
+	}
+	return out
+}
+
+// Stale reports whether a presented epoch token is older than the
+// group's current lease — the fencing predicate.
+func (t *LeaseTable) Stale(g int, epoch uint64) bool {
+	return epoch < t.L[g].Epoch
+}
+
+// Promote is a self-election: bump the group's epoch and take leadership.
+// Returns the new epoch.
+func (t *LeaseTable) Promote(g, rank int) uint64 {
+	t.L[g].Epoch++
+	t.L[g].Leader = rank
+	return t.L[g].Epoch
+}
+
+// Adopt installs a lease observed on the wire when it is at least as new
+// as the local one, returning whether anything changed. An equal epoch
+// only updates the leader (idempotent re-learn); an older one is ignored
+// — callers fence those separately.
+func (t *LeaseTable) Adopt(g int, epoch uint64, leader int) bool {
+	l := &t.L[g]
+	if epoch < l.Epoch || (epoch == l.Epoch && l.Leader == leader) {
+		return false
+	}
+	l.Epoch = epoch
+	l.Leader = leader
+	return true
+}
+
+// DecideRejoin serves a rejoin probe at the surviving replica: the
+// rejoiner `from` presents its durable lease view (epochs, leaders) and
+// asks, per group, either to resume the leadership it durably holds or
+// to be told who won. The verdicts also mutate t — granted leases are
+// installed locally so both replicas agree the moment the reply is sent.
+//
+// Per group the outcome is one of:
+//   - Rejected: the rejoiner durably claims leadership but my lease is
+//     newer (an election superseded it while it was down) — a fencing
+//     rejection carrying the current epoch and leader to fall in line
+//     with.
+//   - Grant back: the claim stands — no election displaced it (the
+//     outage was shorter than the membership deadline) or the rejoiner's
+//     durable epoch is the newest either side has seen. Leadership
+//     resumes under a bumped epoch so any traffic from the dead
+//     incarnation is fenced by everyone.
+//   - Sync: the rejoiner claims nothing (it was the follower) — the
+//     reply just restates the current lease for it to adopt.
+func DecideRejoin(t *LeaseTable, myRank, from int, epochs []uint64, leaders []int) []GroupGrant {
+	out := make([]GroupGrant, 0, len(t.L))
+	for g := range t.L {
+		var presented uint64
+		if g < len(epochs) {
+			presented = epochs[g]
+		}
+		claims := g < len(leaders) && leaders[g] == from
+		cur := t.L[g]
+		switch {
+		case claims && cur.Leader != from && presented < cur.Epoch:
+			// A newer lease displaced the claim: fence it.
+			out = append(out, GroupGrant{Group: g, Epoch: cur.Epoch, Leader: cur.Leader, Rejected: true})
+		case claims:
+			// The claim stands: re-grant above every epoch in play.
+			e := cur.Epoch
+			if presented > e {
+				e = presented
+			}
+			e++
+			t.L[g] = Lease{Epoch: e, Leader: from}
+			out = append(out, GroupGrant{Group: g, Epoch: e, Leader: from})
+		case cur.Leader == from:
+			// The rejoiner abdicated (it no longer claims the group I
+			// still record it leading): take over rather than leave the
+			// group headless.
+			e := cur.Epoch
+			if presented > e {
+				e = presented
+			}
+			e++
+			t.L[g] = Lease{Epoch: e, Leader: myRank}
+			out = append(out, GroupGrant{Group: g, Epoch: e, Leader: myRank})
+		default:
+			// Follower sync: restate the current lease.
+			out = append(out, GroupGrant{Group: g, Epoch: cur.Epoch, Leader: cur.Leader})
+		}
+	}
+	return out
+}

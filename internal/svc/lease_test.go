@@ -1,0 +1,176 @@
+package svc
+
+import "testing"
+
+func newTable(t *testing.T) *LeaseTable {
+	t.Helper()
+	return NewLeaseTable(NewShardMap(0, 0))
+}
+
+func TestLeaseTableBoot(t *testing.T) {
+	lt := newTable(t)
+	if len(lt.L) != DefaultGroups {
+		t.Fatalf("groups = %d, want %d", len(lt.L), DefaultGroups)
+	}
+	for g, l := range lt.L {
+		if l.Epoch != 1 {
+			t.Fatalf("group %d boots at epoch %d, want 1", g, l.Epoch)
+		}
+		if l.Leader != g%NumRanks {
+			t.Fatalf("group %d boot leader %d, want %d", g, l.Leader, g%NumRanks)
+		}
+	}
+}
+
+func TestStaleAndPromote(t *testing.T) {
+	lt := newTable(t)
+	if lt.Stale(0, 1) {
+		t.Fatal("current epoch must not be stale")
+	}
+	if got := lt.Promote(0, 1); got != 2 {
+		t.Fatalf("Promote returned epoch %d, want 2", got)
+	}
+	if lt.L[0].Leader != 1 {
+		t.Fatalf("leader after Promote = %d, want 1", lt.L[0].Leader)
+	}
+	if !lt.Stale(0, 1) {
+		t.Fatal("the deposed epoch must be stale after the promotion")
+	}
+	if lt.Stale(0, 2) || lt.Stale(0, 3) {
+		t.Fatal("current and future epochs must not be stale")
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	lt := newTable(t)
+	if lt.Adopt(0, 0, 1) {
+		t.Fatal("adopting an older epoch must be refused")
+	}
+	if lt.Adopt(0, 1, 0) {
+		t.Fatal("re-adopting the identical lease must report no change")
+	}
+	if !lt.Adopt(0, 1, 1) || lt.L[0].Leader != 1 || lt.L[0].Epoch != 1 {
+		t.Fatalf("equal-epoch leader relearn failed: %+v", lt.L[0])
+	}
+	if !lt.Adopt(0, 5, 0) || lt.L[0].Epoch != 5 || lt.L[0].Leader != 0 {
+		t.Fatalf("newer lease not installed: %+v", lt.L[0])
+	}
+}
+
+// TestDecideRejoinFencesDisplacedClaim is the acceptance property: a
+// rebooted primary presenting its pre-crash lease view must be rejected
+// for the group an election moved away from it while it was down.
+func TestDecideRejoinFencesDisplacedClaim(t *testing.T) {
+	lt := newTable(t) // group 0 led by rank 0, group 1 by rank 1
+	// Rank 1 elected itself over group 0 while rank 0 was down.
+	lt.Promote(0, 1)
+
+	// Rank 0 rejoins presenting its durable (stale) view.
+	grants := DecideRejoin(lt, 1, 0, []uint64{1, 1}, []int{0, 1})
+	if len(grants) != DefaultGroups {
+		t.Fatalf("got %d grants, want %d", len(grants), DefaultGroups)
+	}
+	g0 := grants[0]
+	if !g0.Rejected {
+		t.Fatal("displaced claim on group 0 was not fenced")
+	}
+	if g0.Epoch != 2 || g0.Leader != 1 {
+		t.Fatalf("rejection must teach the current lease, got epoch %d leader %d", g0.Epoch, g0.Leader)
+	}
+	// Group 1: rank 0 never claimed it — plain follower sync, no bump.
+	g1 := grants[1]
+	if g1.Rejected || g1.Epoch != 1 || g1.Leader != 1 {
+		t.Fatalf("group 1 should be a follower sync of the current lease, got %+v", g1)
+	}
+}
+
+// TestDecideRejoinGrantsBack covers the short-outage path: no election
+// displaced the rejoiner, so its leadership resumes under a bumped epoch
+// that fences the dead incarnation's traffic.
+func TestDecideRejoinGrantsBack(t *testing.T) {
+	lt := newTable(t)
+	grants := DecideRejoin(lt, 1, 0, []uint64{1, 1}, []int{0, 1})
+	g0 := grants[0]
+	if g0.Rejected {
+		t.Fatal("undisplaced claim must be granted back")
+	}
+	if g0.Leader != 0 {
+		t.Fatalf("grant-back leader %d, want the rejoiner 0", g0.Leader)
+	}
+	if g0.Epoch != 2 {
+		t.Fatalf("grant-back epoch %d, want a bump above every epoch in play", g0.Epoch)
+	}
+	if lt.L[0] != (Lease{Epoch: 2, Leader: 0}) {
+		t.Fatalf("granted lease not installed locally: %+v", lt.L[0])
+	}
+}
+
+// TestDecideRejoinSurvivorTakeover covers abdication: the rejoiner's
+// durable view no longer claims a group the survivor still records it
+// leading, so the survivor takes over rather than leave it headless.
+func TestDecideRejoinSurvivorTakeover(t *testing.T) {
+	lt := newTable(t)
+	// Rejoiner (rank 0) presents a view where rank 1 leads group 0 too.
+	grants := DecideRejoin(lt, 1, 0, []uint64{1, 1}, []int{1, 1})
+	g0 := grants[0]
+	if g0.Rejected || g0.Leader != 1 {
+		t.Fatalf("survivor should take over group 0, got %+v", g0)
+	}
+	if g0.Epoch != 2 {
+		t.Fatalf("takeover epoch %d, want 2", g0.Epoch)
+	}
+	if lt.L[0] != (Lease{Epoch: 2, Leader: 1}) {
+		t.Fatalf("takeover not installed: %+v", lt.L[0])
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want bool
+	}{
+		{Version{1, 5}, Version{2, 1}, true},
+		{Version{2, 1}, Version{1, 5}, false},
+		{Version{1, 1}, Version{1, 2}, true},
+		{Version{1, 2}, Version{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Fatalf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestShardMap(t *testing.T) {
+	m := NewShardMap(0, 0)
+	if m.Shards != DefaultShards || m.Groups != DefaultGroups {
+		t.Fatalf("defaults not applied: %+v", m)
+	}
+	if c := NewShardMap(4, 9); c.Groups != 4 {
+		t.Fatalf("groups must clamp to shards, got %+v", c)
+	}
+	seen := make(map[int]bool)
+	for k := uint64(0); k < 256; k++ {
+		s := m.ShardOf(k)
+		if s < 0 || s >= m.Shards {
+			t.Fatalf("ShardOf(%d) = %d out of range", k, s)
+		}
+		if s2 := m.ShardOf(k); s2 != s {
+			t.Fatalf("ShardOf(%d) not deterministic: %d vs %d", k, s, s2)
+		}
+		g := m.GroupOfKey(k)
+		if g != m.GroupOf(s) {
+			t.Fatalf("GroupOfKey(%d) = %d, want GroupOf(%d) = %d", k, g, s, m.GroupOf(s))
+		}
+		seen[g] = true
+	}
+	if len(seen) != m.Groups {
+		t.Fatalf("256 keys covered %d of %d groups", len(seen), m.Groups)
+	}
+	for g := 0; g < m.Groups; g++ {
+		l := m.InitialLeader(g)
+		if l < 0 || l >= NumRanks {
+			t.Fatalf("InitialLeader(%d) = %d out of range", g, l)
+		}
+	}
+}

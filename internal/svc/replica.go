@@ -1,0 +1,545 @@
+package svc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// PortName is the wire name every replica exports its service port
+// under, on every link.
+const PortName = "kv"
+
+// ReplyOpBit marks a reply's OpID (the server sets opid|ReplyOpBit), the
+// same convention the echo workloads use.
+const ReplyOpBit = 0x8000
+
+// DefaultRenewEvery is the lease renewal period and the replica's idle
+// tick: comfortably under the membership deadline (so a live leader is
+// never spuriously deposed) and above the wire RTT (so renewals are
+// cheap).
+const DefaultRenewEvery = machine.Duration(4 * 1000 * 1000) // 4 ms
+
+// drainTimeout is the receive bound used while more outbound messages
+// are queued: long enough to take any already-delivered message, short
+// enough that a burst (snapshot reply plus acks) drains promptly.
+const drainTimeout = machine.Duration(50 * 1000) // 50 us
+
+// ReplicaStats counts service-level events across a replica's whole
+// lifetime. The struct is referenced from ReplicaConfig, so like the
+// lease table it survives crashes — reports span incarnations.
+type ReplicaStats struct {
+	Elections         uint64 // self-promotions after the leader went silent
+	FencingRejections uint64 // stale-epoch requests refused
+	Deposed           uint64 // times this replica learned it was fenced
+	SoloAcks          uint64 // writes acked without a live backup
+	Syncs             uint64 // rejoin state transfers installed
+	RejoinsServed     uint64 // rejoin probes answered
+	Gets              uint64 // client reads served as leader
+	Puts              uint64 // client writes applied as leader
+	Replicated        uint64 // follower writes applied from the leader
+}
+
+// ReplicaConfig is the durable half of a replica: everything here
+// survives a machine crash (it models fsynced metadata plus static
+// configuration), while the Replica object itself is per-incarnation
+// volatile state rebuilt by InstallReplica on every warm reboot.
+type ReplicaConfig struct {
+	// Rank is this replica's identity (0 or 1); PeerRank the other.
+	Rank, PeerRank int
+	Map            ShardMap
+	// Leases is the durable lease table; shared with nothing — each
+	// replica has its own copy, reconciled through the wire protocol.
+	Leases *LeaseTable
+	// PeerLink indexes the machine's link to the other replica.
+	PeerLink int
+	// Clients is the number of client threads that will each report done.
+	Clients int
+	// RenewEvery overrides the renewal/tick period when nonzero.
+	RenewEvery machine.Duration
+	// IdleExit bounds how long the replica keeps ticking with no real
+	// traffic before giving up and quiescing (DefaultIdleExit if zero) —
+	// the escape hatch that lets a cluster whose clients died without
+	// reboot still reach the drivers' quiescence condition.
+	IdleExit machine.Duration
+	// QueueLimit sizes the service port's message queue (default 64).
+	QueueLimit int
+	Stats      *ReplicaStats
+
+	// done/doneLeft track which client threads have reported completion.
+	// Durable: a replica that crashes after acknowledging a done must
+	// still count it, because the exited client will never resend.
+	done     []bool
+	doneLeft int
+	boots    int
+}
+
+// renewEvery resolves the tick period.
+func (c *ReplicaConfig) renewEvery() machine.Duration {
+	if c.RenewEvery > 0 {
+		return c.RenewEvery
+	}
+	return DefaultRenewEvery
+}
+
+// DefaultIdleExit is the no-traffic give-up horizon: far beyond any gap
+// a crash/reboot/rejoin sequence produces in a healthy run, so it only
+// fires when the workload's clients are truly gone.
+const DefaultIdleExit = machine.Duration(250 * 1000 * 1000) // 250 ms
+
+func (c *ReplicaConfig) idleExit() machine.Duration {
+	if c.IdleExit > 0 {
+		return c.IdleExit
+	}
+	return DefaultIdleExit
+}
+
+// pendingRep is one client write applied locally and awaiting the
+// backup's acknowledgement before the client is answered.
+type pendingRep struct {
+	group int
+	seq   uint64
+	opid  uint32
+	reply *ipc.Port
+	at    machine.Time
+}
+
+// outbound is one queued protocol message; the replica drains the queue
+// one send per dispatch, each combined with a receive so the thread
+// keeps servicing its port.
+type outbound struct {
+	to   *ipc.Port
+	opid uint32
+	w    *Wire
+}
+
+// Replica is the per-incarnation server program: one thread per server
+// machine, receiving every protocol message on the exported service port
+// with a renewal-period timeout, so elections, renewals and rejoin
+// probes all ride the same continuation-blocked receive loop.
+type Replica struct {
+	sys  *kern.System
+	cfg  *ReplicaConfig
+	port *ipc.Port
+
+	store   []map[uint64]Entry // per shard, version-checked apply
+	seq     []uint64           // per group replication high-water
+	pending []pendingRep
+	out     []outbound
+	recovering   bool
+	lastRenew    machine.Time
+	lastRejoin   machine.Time
+	lastActivity machine.Time
+
+	sendAct core.Action
+	recvAct core.Action
+}
+
+// InstallReplica boots the replica service on a machine: a fresh
+// volatile Replica over the durable cfg, its port exported on every
+// link. Registered through kern.RegisterService it runs again on each
+// warm reboot; from the second boot on the replica starts in recovery,
+// probing its peer before trusting its own durable lease view.
+func InstallReplica(s *kern.System, cfg *ReplicaConfig) {
+	cfg.boots++
+	if cfg.Stats == nil {
+		cfg.Stats = &ReplicaStats{}
+	}
+	if cfg.Leases == nil {
+		cfg.Leases = NewLeaseTable(cfg.Map)
+	}
+	if cfg.done == nil {
+		cfg.done = make([]bool, cfg.Clients)
+		cfg.doneLeft = cfg.Clients
+	}
+	r := &Replica{
+		sys:          s,
+		cfg:          cfg,
+		store:        make([]map[uint64]Entry, cfg.Map.Shards),
+		seq:          make([]uint64, cfg.Map.Groups),
+		recovering:   cfg.boots > 1,
+		lastActivity: s.K.Clock.Now(),
+	}
+	for i := range r.store {
+		r.store[i] = make(map[uint64]Entry)
+	}
+	task := s.NewTask("kv-replica")
+	r.port = s.IPC.NewPort(PortName)
+	r.port.QueueLimit = cfg.QueueLimit
+	if r.port.QueueLimit <= 0 {
+		r.port.QueueLimit = 64
+	}
+	for _, n := range s.Links {
+		n.Export(PortName, r.port)
+	}
+	s.Start(task.NewThread("replica", r, 20))
+}
+
+// peerLink is the replication link's membership view.
+func (r *Replica) peerLink() lnk { return r.sys.Links[r.cfg.PeerLink] }
+
+// lnk is the slice of the netmsg API the replica consults.
+type lnk interface {
+	PeerAlive() bool
+	ProxyFor(string) *ipc.Port
+}
+
+// push queues one outbound message.
+func (r *Replica) push(to *ipc.Port, opid uint32, w *Wire) {
+	r.out = append(r.out, outbound{to: to, opid: opid, w: w})
+}
+
+// pushPeer queues a message to the other replica. Liveness-bearing
+// control traffic (renewals and rejoin probes) jumps to the front of
+// the out queue: the peer's membership layer reads any arrival as a
+// heartbeat, so a renewal parked behind a long data backlog on a slow
+// machine would let the silence deadline expire and trigger a false
+// election. Reordering control ahead of data is safe — renewals carry
+// only the current lease, rejoins only the durable view, and data
+// messages keep FIFO order among themselves.
+func (r *Replica) pushPeer(w *Wire) {
+	w.From = r.cfg.Rank
+	o := outbound{to: r.peerLink().ProxyFor(PortName), w: w}
+	if w.Kind == MsgRenew || w.Kind == MsgRejoin {
+		r.out = append(r.out, outbound{})
+		copy(r.out[1:], r.out)
+		r.out[0] = o
+		return
+	}
+	r.out = append(r.out, o)
+}
+
+// wireBytes prices a Wire for the simulated copy/transfer costs.
+func wireBytes(w *Wire) int {
+	n := 160 + 8*(len(w.Epochs)+len(w.Seqs)+len(w.Leaders)) +
+		16*len(w.Grants) + 24*len(w.Snap)
+	if n < ipc.HeaderBytes {
+		n = ipc.HeaderBytes
+	}
+	return n
+}
+
+func (r *Replica) Next(e *core.Env, t *core.Thread) core.Action {
+	if r.recvAct.Invoke == nil {
+		r.recvAct = core.Syscall("mach_msg(svc-recv)", func(e *core.Env) {
+			r.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				ReceiveFrom: r.port, RcvTimeout: r.cfg.renewEvery(),
+			})
+		})
+		r.sendAct = core.Syscall("mach_msg(svc-send)", func(e *core.Env) {
+			o := r.out[0]
+			r.out = r.out[:copy(r.out, r.out[1:])]
+			timeout := r.cfg.renewEvery()
+			if len(r.out) > 0 {
+				timeout = drainTimeout
+			}
+			msg := r.sys.IPC.NewMessage(o.opid, wireBytes(o.w), o.w, nil)
+			r.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: msg, SendTo: o.to,
+				ReceiveFrom: r.port, RcvTimeout: timeout,
+			})
+		})
+	}
+	if m := r.sys.IPC.Received(t); m != nil {
+		r.handle(t, m)
+	}
+	r.tick(t)
+	if len(r.pending) == 0 && len(r.out) == 0 {
+		if r.cfg.doneLeft == 0 {
+			// Every client thread reported completion and nothing is owed
+			// to anyone: quiesce so the cluster run can end.
+			return core.Exit()
+		}
+		if r.sys.K.Clock.Now()-r.lastActivity >= r.cfg.idleExit() {
+			// No real traffic for the whole idle horizon: the remaining
+			// clients are gone for good. Give up rather than tick forever
+			// — the drivers' quiescence condition needs every thread to
+			// stop eventually.
+			return core.Exit()
+		}
+	}
+	if len(r.out) > 0 {
+		return r.sendAct
+	}
+	return r.recvAct
+}
+
+// tick runs the clock-driven duties: elections, lease renewals, solo
+// acknowledgements, and rejoin probing. All timing reads the simulated
+// clock, so sequential and parallel drivers agree exactly.
+func (r *Replica) tick(t *core.Thread) {
+	now := r.sys.K.Clock.Now()
+	leases, stats := r.cfg.Leases, r.cfg.Stats
+	peerUp := r.peerLink().PeerAlive()
+
+	if !peerUp && !r.recovering && r.cfg.doneLeft > 0 {
+		// Election: promote myself over every group the silent peer led.
+		// The membership layer's deadline (DeadAfter of silence) is the
+		// lease expiry; the epoch bump is the new fencing token.
+		for g := range leases.L {
+			if leases.L[g].Leader != r.cfg.PeerRank {
+				continue
+			}
+			ep := leases.Promote(g, r.cfg.Rank)
+			stats.Elections++
+			if rec := r.sys.K.Obs; rec != nil {
+				rec.EmitArg(obs.Election, t.ID, t.Name, "",
+					fmt.Sprintf("group %d", g), int(ep))
+			}
+		}
+	}
+	if !peerUp && len(r.pending) > 0 {
+		// Writes in flight to the dead backup will never be acked: answer
+		// their clients directly. New writes solo-ack at accept time until
+		// the peer rejoins.
+		r.ackPendingSolo(now)
+	}
+
+	if !r.recovering && peerUp && r.cfg.doneLeft > 0 && now-r.lastRenew >= r.cfg.renewEvery() {
+		r.lastRenew = now
+		for g := range leases.L {
+			if leases.L[g].Leader != r.cfg.Rank {
+				continue
+			}
+			r.pushPeer(&Wire{Kind: MsgRenew, Group: g,
+				Epoch: leases.L[g].Epoch, Leader: r.cfg.Rank})
+		}
+	}
+
+	if r.recovering && peerUp && (r.lastRejoin == 0 || now-r.lastRejoin >= 2*r.cfg.renewEvery()) {
+		r.lastRejoin = now
+		leaders := make([]int, len(leases.L))
+		for g := range leases.L {
+			leaders[g] = leases.L[g].Leader
+		}
+		r.pushPeer(&Wire{Kind: MsgRejoin, Epochs: leases.Epochs(), Leaders: leaders})
+	}
+}
+
+// ackPendingSolo answers every waiting client directly — the backup is
+// gone, so sync replication degrades to solo writes rather than hanging
+// the clients.
+func (r *Replica) ackPendingSolo(now machine.Time) {
+	for _, p := range r.pending {
+		r.cfg.Stats.SoloAcks++
+		r.observeRep(now, p.at)
+		r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid, Found: true})
+	}
+	r.pending = r.pending[:0]
+}
+
+// observeRep records one write's accept-to-ack latency in the
+// "kv.replicate" service histogram.
+func (r *Replica) observeRep(now, at machine.Time) {
+	if rec := r.sys.K.Obs; rec != nil {
+		rec.Service("kv.replicate").Observe(uint64(now - at))
+	}
+}
+
+// handle dispatches one received protocol message.
+func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
+	w, ok := m.Body.(*Wire)
+	reply := m.Reply
+	r.sys.IPC.FreeMessage(m)
+	if !ok {
+		return
+	}
+	leases, stats := r.cfg.Leases, r.cfg.Stats
+	now := r.sys.K.Clock.Now()
+	if w.Kind != MsgRenew {
+		// Renewals flow between two live replicas forever; everything
+		// else is evidence the workload is still making progress.
+		r.lastActivity = now
+	}
+	switch w.Kind {
+	case MsgClientOp:
+		r.clientOp(w, reply, now)
+
+	case MsgReplicate:
+		g := w.Group
+		if leases.Stale(g, w.Epoch) {
+			// Fencing: a deposed leader's write. Refuse it and teach the
+			// sender the current lease.
+			stats.FencingRejections++
+			if rec := r.sys.K.Obs; rec != nil {
+				rec.EmitArg(obs.Fencing, t.ID, t.Name, "",
+					fmt.Sprintf("group %d replicate", g), int(w.Epoch))
+			}
+			r.pushPeer(&Wire{Kind: MsgRepReject, Group: g,
+				Epoch: leases.L[g].Epoch, Leader: leases.L[g].Leader})
+			return
+		}
+		leases.Adopt(g, w.Epoch, w.From)
+		r.apply(w.Shard, w.Key, w.Val, Version{Epoch: w.Epoch, Seq: w.Seq})
+		if w.Seq > r.seq[g] {
+			r.seq[g] = w.Seq
+		}
+		stats.Replicated++
+		r.pushPeer(&Wire{Kind: MsgRepOK, Group: g, Seq: w.Seq})
+
+	case MsgRepOK:
+		for i, p := range r.pending {
+			if p.group != w.Group || p.seq != w.Seq {
+				continue
+			}
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			r.observeRep(now, p.at)
+			r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid, Found: true})
+			break
+		}
+
+	case MsgRepReject:
+		// I have been fenced: a newer lease exists. Fall in line, bounce
+		// my waiting clients to the real leader, and resync.
+		stats.Deposed++
+		leases.Adopt(w.Group, w.Epoch, w.Leader)
+		for _, p := range r.pending {
+			r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid,
+				NotLeader: true, Leader: w.Leader})
+		}
+		r.pending = r.pending[:0]
+		r.recovering = true
+		r.lastRejoin = 0
+
+	case MsgRenew:
+		g := w.Group
+		if leases.Stale(g, w.Epoch) {
+			stats.FencingRejections++
+			if rec := r.sys.K.Obs; rec != nil {
+				rec.EmitArg(obs.Fencing, t.ID, t.Name, "",
+					fmt.Sprintf("group %d renew", g), int(w.Epoch))
+			}
+			r.pushPeer(&Wire{Kind: MsgRepReject, Group: g,
+				Epoch: leases.L[g].Epoch, Leader: leases.L[g].Leader})
+			return
+		}
+		leases.Adopt(g, w.Epoch, w.Leader)
+
+	case MsgRejoin:
+		grants := DecideRejoin(leases, r.cfg.Rank, w.From, w.Epochs, w.Leaders)
+		for _, gr := range grants {
+			if !gr.Rejected {
+				continue
+			}
+			stats.FencingRejections++
+			if rec := r.sys.K.Obs; rec != nil {
+				var presented uint64
+				if gr.Group < len(w.Epochs) {
+					presented = w.Epochs[gr.Group]
+				}
+				rec.EmitArg(obs.Fencing, t.ID, t.Name, "",
+					fmt.Sprintf("group %d rejoin", gr.Group), int(presented))
+			}
+		}
+		stats.RejoinsServed++
+		r.pushPeer(&Wire{Kind: MsgRejoinOK, Grants: grants,
+			Snap: r.snapshot(), Seqs: append([]uint64(nil), r.seq...)})
+
+	case MsgRejoinOK:
+		for _, gr := range w.Grants {
+			leases.Adopt(gr.Group, gr.Epoch, gr.Leader)
+		}
+		for g, s := range w.Seqs {
+			if g < len(r.seq) && s > r.seq[g] {
+				r.seq[g] = s
+			}
+		}
+		for _, ent := range w.Snap {
+			r.apply(r.cfg.Map.ShardOf(ent.Key), ent.Key, ent.Val, ent.Ver)
+		}
+		if r.recovering {
+			r.recovering = false
+			stats.Syncs++
+		}
+
+	case MsgDone:
+		// From carries the reporting client thread's global index here.
+		idx := w.From
+		if idx >= 0 && idx < len(r.cfg.done) && !r.cfg.done[idx] {
+			r.cfg.done[idx] = true
+			r.cfg.doneLeft--
+		}
+		if reply != nil {
+			r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Found: true})
+		}
+	}
+}
+
+// clientOp serves one Get/Put as leader, or redirects the client.
+func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time) {
+	leases, stats := r.cfg.Leases, r.cfg.Stats
+	shard := r.cfg.Map.ShardOf(w.Key)
+	g := r.cfg.Map.GroupOf(shard)
+	if reply == nil {
+		return
+	}
+	if r.recovering || leases.L[g].Leader != r.cfg.Rank {
+		hint := leases.L[g].Leader
+		if r.recovering && hint == r.cfg.Rank {
+			// My durable view says me, but I have not re-earned the lease
+			// yet; the peer is the better guess while I resync.
+			hint = r.cfg.PeerRank
+		}
+		r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID,
+			NotLeader: true, Leader: hint})
+		return
+	}
+	if w.Op == OpGet {
+		stats.Gets++
+		ent, ok := r.store[shard][w.Key]
+		r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID,
+			Key: w.Key, Val: ent.Val, Found: ok})
+		return
+	}
+	stats.Puts++
+	r.seq[g]++
+	ver := Version{Epoch: leases.L[g].Epoch, Seq: r.seq[g]}
+	r.apply(shard, w.Key, w.Val, ver)
+	if r.peerLink().PeerAlive() {
+		r.pushPeer(&Wire{Kind: MsgReplicate, Group: g, Shard: shard,
+			Key: w.Key, Val: w.Val, Epoch: ver.Epoch, Seq: ver.Seq})
+		r.pending = append(r.pending, pendingRep{group: g, seq: ver.Seq,
+			opid: w.OpID, reply: reply, at: now})
+		return
+	}
+	stats.SoloAcks++
+	r.observeRep(now, now)
+	r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Found: true})
+}
+
+// apply installs a write if its version is newer than what the store
+// holds — idempotent and order-independent, which is what replication
+// retransmits and snapshot installs require.
+func (r *Replica) apply(shard int, key, val uint64, v Version) {
+	m := r.store[shard]
+	if old, ok := m[key]; ok && !old.Ver.Less(v) {
+		return
+	}
+	m[key] = Entry{Key: key, Val: val, Ver: v}
+}
+
+// snapshot renders the whole store as a sorted entry list — sorted so
+// the bytes on the wire (and everything downstream) are deterministic.
+func (r *Replica) snapshot() []Entry {
+	var out []Entry
+	for shard := range r.store {
+		base := len(out)
+		for _, ent := range r.store[shard] {
+			out = append(out, ent)
+		}
+		sub := out[base:]
+		sort.Slice(sub, func(i, j int) bool { return sub[i].Key < sub[j].Key })
+	}
+	return out
+}
+
+// Store returns the current value of a key, for tests and debugging.
+func (r *Replica) Store(key uint64) (uint64, bool) {
+	ent, ok := r.store[r.cfg.Map.ShardOf(key)][key]
+	return ent.Val, ok
+}

@@ -1,0 +1,54 @@
+package svc
+
+// DefaultShards and DefaultGroups size the standard KV deployment: eight
+// key-range shards spread round-robin over two replica groups, each
+// group a primary/backup pair drawn from the two server machines.
+const (
+	DefaultShards = 8
+	DefaultGroups = 2
+	// NumRanks is the replica count per group (primary + backup).
+	NumRanks = 2
+)
+
+// ShardMap is the static placement function: key -> shard -> group, plus
+// each group's boot-time leader. It never changes during a run (leases
+// move leadership; the map itself is configuration), so every machine
+// can hold a copy with no coordination.
+type ShardMap struct {
+	Shards int
+	Groups int
+}
+
+// NewShardMap returns a map with the given sizes (defaults if <= 0).
+func NewShardMap(shards, groups int) ShardMap {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if groups <= 0 {
+		groups = DefaultGroups
+	}
+	if groups > shards {
+		groups = shards
+	}
+	return ShardMap{Shards: shards, Groups: groups}
+}
+
+// ShardOf hashes a key onto a shard with a splitmix64 finalizer, so
+// adjacent keys spread over all groups.
+func (m ShardMap) ShardOf(key uint64) int {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(m.Shards))
+}
+
+// GroupOf places shards round-robin over the groups.
+func (m ShardMap) GroupOf(shard int) int { return shard % m.Groups }
+
+// GroupOfKey is ShardOf followed by GroupOf.
+func (m ShardMap) GroupOfKey(key uint64) int { return m.GroupOf(m.ShardOf(key)) }
+
+// InitialLeader alternates boot-time leadership over the ranks, so both
+// server machines carry primary load from the start.
+func (m ShardMap) InitialLeader(group int) int { return group % NumRanks }

@@ -1,0 +1,379 @@
+// KV is the replicated-service workload: four machines — two client
+// machines and two replica servers — running the svc package's sharded
+// key/value store. Each client machine hosts caller threads that route
+// Gets and Puts to the believed leader of each key's shard group; the
+// replicas replicate synchronously, renew epoch-numbered leases, and
+// elect a new leader when the membership layer declares the old one
+// dead. A run with `-crash primary@...:reboot+...` therefore completes
+// 100% of its client operations: callers fail over to the elected
+// backup, and the rebooted primary's rejoin probe is fenced before it
+// can serve with stale leases.
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dev"
+	"repro/internal/fault"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/svc"
+)
+
+// KVSpec sizes the replicated KV workload.
+type KVSpec struct {
+	// Ops is how many operations each caller thread issues; Clients the
+	// caller threads per client machine (two client machines total).
+	Ops     int
+	Clients int
+	// Shards and Groups shape the shard map (svc defaults if zero).
+	Shards int
+	Groups int
+	// Keyspan is each caller's private key range; PutPer10k the write mix.
+	Keyspan   uint64
+	PutPer10k int
+	// Wire is the one-way NIC latency (dev.DefaultWireLatency if 0).
+	Wire machine.Duration
+	// Seed drives the operation scripts (keys, values, read/write mix).
+	Seed uint64
+	// FaultSeed/FaultSpec are the per-machine fault plan; Crashes in the
+	// spec name machines 0..3 (client, primary, backup, client).
+	FaultSeed uint64
+	FaultSpec fault.Spec
+	// RPCTimeout overrides the callers' per-attempt receive timeout;
+	// RenewEvery the replicas' lease renewal period; IdleExit their
+	// no-traffic give-up horizon; DeadAfter the links' membership
+	// silence deadline. When zero each defaults to the svc/dev constant
+	// scaled by the architecture's speed relative to the DS3100 — a
+	// liveness deadline tuned on the baseline machine would misfire on
+	// one several times slower, where honest queueing delays under load
+	// routinely exceed it.
+	RPCTimeout machine.Duration
+	RenewEvery machine.Duration
+	IdleExit   machine.Duration
+	DeadAfter  machine.Duration
+	// Parallel runs the cluster's horizon rounds with one goroutine per
+	// machine; results are byte-identical to the sequential rounds.
+	Parallel bool
+	// DebugChecks arms the kernel invariant sweep and the watchdog.
+	DebugChecks bool
+}
+
+// svcTimeouts is the resolved timeout provisioning for a service
+// cluster on one architecture.
+type svcTimeouts struct {
+	rpcTimeout machine.Duration
+	renewEvery machine.Duration
+	idleExit   machine.Duration
+	deadAfter  machine.Duration
+}
+
+// provisionTimeouts fills every unset timeout with its default scaled
+// by how much slower the target architecture runs a reference kernel
+// copy than the DS3100 baseline. The scale is a pure function of the
+// cost models, so every run (and every driver) computes the same
+// values.
+func provisionTimeouts(arch machine.Arch, rpc, renew, idle, dead machine.Duration) svcTimeouts {
+	base := machine.NewCostModel(machine.ArchDS3100)
+	m := machine.NewCostModel(arch)
+	f := m.TimeMicros(machine.WordCopyCost) / base.TimeMicros(machine.WordCopyCost)
+	if f < 1 {
+		f = 1
+	}
+	scaled := func(d machine.Duration) machine.Duration {
+		return machine.Duration(float64(d) * f)
+	}
+	t := svcTimeouts{rpcTimeout: rpc, renewEvery: renew, idleExit: idle, deadAfter: dead}
+	if t.rpcTimeout == 0 {
+		t.rpcTimeout = scaled(svc.DefaultCallTimeout)
+	}
+	if t.renewEvery == 0 {
+		t.renewEvery = scaled(svc.DefaultRenewEvery)
+	}
+	if t.idleExit == 0 {
+		t.idleExit = scaled(svc.DefaultIdleExit)
+	}
+	if t.deadAfter == 0 {
+		t.deadAfter = scaled(dev.DefaultDeadAfter)
+	}
+	return t
+}
+
+// DefaultKV returns the standard replicated KV run: two client machines
+// with two callers each, a 40% write mix, and enough operations that a
+// mid-run crash lands inside real traffic.
+func DefaultKV() KVSpec {
+	return KVSpec{
+		Ops:       60,
+		Clients:   2,
+		Keyspan:   32,
+		PutPer10k: 4000,
+		Seed:      1991,
+	}
+}
+
+// KVResult reports one replicated KV run.
+type KVResult struct {
+	Machines []*kern.System
+	// Replicas are the two durable replica configurations (rank order);
+	// their Stats span every incarnation.
+	Replicas [svc.NumRanks]*svc.ReplicaConfig
+
+	// Completed/Failed/Mismatches aggregate the caller threads.
+	Completed  int
+	Failed     int
+	Mismatches uint64
+	Redirects  uint64
+	Failovers  uint64
+	Salvaged   uint64
+
+	Elapsed  machine.Duration
+	Steps    uint64
+	Recovery RecoveryStats
+}
+
+// ReplicaTotals sums the two replicas' service counters.
+func (r *KVResult) ReplicaTotals() svc.ReplicaStats {
+	var t svc.ReplicaStats
+	for _, cfg := range r.Replicas {
+		if cfg == nil || cfg.Stats == nil {
+			continue
+		}
+		s := cfg.Stats
+		t.Elections += s.Elections
+		t.FencingRejections += s.FencingRejections
+		t.Deposed += s.Deposed
+		t.SoloAcks += s.SoloAcks
+		t.Syncs += s.Syncs
+		t.RejoinsServed += s.RejoinsServed
+		t.Gets += s.Gets
+		t.Puts += s.Puts
+		t.Replicated += s.Replicated
+	}
+	return t
+}
+
+// kvOps renders one caller's deterministic operation script. Every
+// caller owns the key range tagged with its global id, so Track-mode
+// consistency checking is sound, and the first reference to each key may
+// be a Get (a not-found read of an unwritten key is not a mismatch).
+func kvOps(seed uint64, clientID int, ops int, keyspan uint64, putPer10k int) []svc.KVOp {
+	if keyspan == 0 {
+		keyspan = 32
+	}
+	rng := NewRNG(seed + uint64(clientID)*0x9e3779b9)
+	out := make([]svc.KVOp, ops)
+	for i := range out {
+		key := uint64(clientID)<<32 | rng.Uint64n(keyspan)
+		if rng.Hit(putPer10k) {
+			out[i] = svc.KVOp{Op: svc.OpPut, Key: key, Val: rng.Next()}
+		} else {
+			out[i] = svc.KVOp{Op: svc.OpGet, Key: key}
+		}
+	}
+	return out
+}
+
+// scheduleCrashPlan applies a fault plan's machine crashes to any
+// cluster (the workload-agnostic half of scheduleCrashes).
+func scheduleCrashPlan(machines []*kern.System, crashes []fault.Crash) {
+	for _, cr := range crashes {
+		if cr.Machine >= 0 && cr.Machine < len(machines) {
+			machines[cr.Machine].ScheduleCrash(cr.At, cr.RebootAfter)
+		}
+	}
+}
+
+// RunKV boots and drives the replicated KV cluster.
+func RunKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) *KVResult {
+	res, clis := bootKV(flavor, arch, spec)
+	cluster := kern.NewCluster(res.Machines...)
+	start := res.Machines[0].K.Clock.Now()
+	res.Steps = cluster.Drive(spec.Parallel)
+	for _, c := range clis {
+		res.Completed += c.Stats.Done
+		res.Failed += c.Stats.Failed
+		res.Mismatches += c.Stats.Mismatches
+		res.Redirects += c.Stats.Redirects
+		res.Failovers += c.Stats.Failovers
+		res.Salvaged += c.Stats.Salvaged
+	}
+	res.Elapsed = machine.Duration(res.Machines[0].K.Clock.Now() - start)
+	res.Recovery.fill(res.Machines)
+	res.Recovery.Failovers = res.Failovers
+	res.Recovery.Salvaged = res.Salvaged
+	res.Recovery.Failed = uint64(res.Failed)
+	return res
+}
+
+// bootKV builds the four-machine KV cluster: machines 0 and 3 are
+// clients, 1 and 2 the rank-0 and rank-1 replicas. Clients reach rank 0
+// on Links[0] and rank 1 on Links[1]; the replicas reach each other on
+// Links[2], their replication and rejoin channel. Every link runs the
+// reliable protocol — leases, elections and fencing all ride its
+// membership stamps.
+func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*svc.Caller) {
+	cfg := kern.Config{Flavor: flavor, Arch: arch}
+	clientsPer := spec.Clients
+	if clientsPer <= 0 {
+		clientsPer = 1
+	}
+	ops := spec.Ops
+	if ops <= 0 {
+		ops = 60
+	}
+
+	res := &KVResult{}
+	sys := make([]*kern.System, 4)
+	for i := range sys {
+		sys[i] = kern.New(cfg)
+	}
+	client0, rank0, rank1, client1 := sys[0], sys[1], sys[2], sys[3]
+	client0.AddLink()
+	client1.AddLink()
+	rank0.AddLink()
+	rank0.AddLink()
+	rank1.AddLink()
+	rank1.AddLink()
+	dev.Connect(client0.Links[0].NIC, rank0.Links[0].NIC, spec.Wire)
+	dev.Connect(client0.Links[1].NIC, rank1.Links[0].NIC, spec.Wire)
+	dev.Connect(client1.Links[0].NIC, rank0.Links[1].NIC, spec.Wire)
+	dev.Connect(client1.Links[1].NIC, rank1.Links[1].NIC, spec.Wire)
+	dev.Connect(rank0.Links[2].NIC, rank1.Links[2].NIC, spec.Wire)
+	tmo := provisionTimeouts(arch, spec.RPCTimeout, spec.RenewEvery, spec.IdleExit, spec.DeadAfter)
+	for i, s := range sys {
+		s.InjectFaults(spec.FaultSeed+uint64(i), spec.FaultSpec)
+		for _, n := range s.Links {
+			n.EnableReliable()
+			n.DeadAfter = tmo.deadAfter
+		}
+		if spec.DebugChecks {
+			s.K.DebugChecks = true
+			s.EnableWatchdog()
+		}
+		// The service histograms (kv.op, kv.replicate) live on the
+		// recorder, so observation is always on for this workload.
+		s.EnableObservation(0)
+	}
+
+	smap := svc.NewShardMap(spec.Shards, spec.Groups)
+
+	// Replicas: the durable config (leases, done bits, stats) is created
+	// once here; RegisterService re-runs the installer on every warm
+	// reboot, so a crashed replica comes back in recovery and rejoins.
+	for rank, s := range []*kern.System{rank0, rank1} {
+		rcfg := &svc.ReplicaConfig{
+			Rank: rank, PeerRank: svc.NumRanks - 1 - rank,
+			Map: smap, PeerLink: 2, Clients: 2 * clientsPer,
+			RenewEvery: tmo.renewEvery, IdleExit: tmo.idleExit,
+		}
+		res.Replicas[rank] = rcfg
+		s.RegisterService("kv-replica", func(s *kern.System) {
+			svc.InstallReplica(s, rcfg)
+		})
+	}
+
+	// Callers: the program objects are durable (script position, acked
+	// map, stats survive their machine's crash); the installer re-arms
+	// each with a fresh reply port and thread per incarnation.
+	var clis []*svc.Caller
+	mkClients := func(s *kern.System, base int, tag string) {
+		mine := make([]*svc.Caller, clientsPer)
+		for j := 0; j < clientsPer; j++ {
+			id := base + j
+			cli := &svc.Caller{
+				Sys: s, Name: fmt.Sprintf("%s%d", tag, j), ID: id,
+				Map: smap, Links: [svc.NumRanks]int{0, 1},
+				Timeout: tmo.rpcTimeout, HistName: "kv.op",
+				Ops:   kvOps(spec.Seed, id, ops, spec.Keyspan, spec.PutPer10k),
+				Track: true,
+			}
+			mine[j] = cli
+			clis = append(clis, cli)
+		}
+		s.RegisterService("kv-clients", func(s *kern.System) {
+			ct := s.NewTask("kv-client")
+			for _, c := range mine {
+				c.Reset(s)
+				s.Start(ct.NewThread(c.Name, c, 10))
+			}
+		})
+	}
+	mkClients(client0, 0, "kv-cli")
+	mkClients(client1, clientsPer, "kv-cli-b")
+
+	res.Machines = sys
+	scheduleCrashPlan(sys, spec.FaultSpec.Crashes)
+	return res, clis
+}
+
+// kvMachineName labels the KV topology's machines.
+func kvMachineName(i int) string {
+	switch i {
+	case 0:
+		return "machine 0 (client)"
+	case 1:
+		return "machine 1 (kv primary)"
+	case 2:
+		return "machine 2 (kv backup)"
+	default:
+		return fmt.Sprintf("machine %d (client)", i)
+	}
+}
+
+// writeServiceLatency prints one merged-across-machines latency line per
+// service tier, with per-tier throughput against the run's elapsed time.
+func writeServiceLatency(w io.Writer, machines []*kern.System, elapsed machine.Duration, tiers []string) {
+	fmt.Fprintf(w, "\nservice latency (all machines):\n")
+	for _, name := range tiers {
+		m := &obs.Histogram{Name: name}
+		for _, sys := range machines {
+			if r := sys.K.Obs; r == nil {
+				continue
+			} else {
+				for _, h := range r.ServiceHistograms() {
+					if h.Name == name {
+						m.Merge(h)
+					}
+				}
+			}
+		}
+		if m.Count == 0 {
+			fmt.Fprintf(w, "  %-14s (no samples)\n", name)
+			continue
+		}
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(m.Count) / (float64(elapsed) / 1e6)
+		}
+		fmt.Fprintf(w, "  %-14s count %d (%.1f/ms), p50 %s, p99 %s, max %s\n",
+			name, m.Count, rate,
+			obs.FmtNS(m.Quantile(0.50)), obs.FmtNS(m.Quantile(0.99)), obs.FmtNS(m.Max))
+	}
+}
+
+// WriteKVReport prints the replicated KV run in machsim's output format:
+// the service-level headline and counters, the merged per-tier latency
+// lines, then the standard per-machine sections. Pure function of the
+// run — sequential and parallel drivers produce identical bytes.
+func WriteKVReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *KVResult, opt NetRPCReportOptions) {
+	fmt.Fprintf(w, "KV on %v/%v — %d client ops completed (%d failed, %d mismatches) in %.2f simulated ms (%d cluster steps)\n",
+		flavor, arch, res.Completed, res.Failed, res.Mismatches,
+		float64(res.Elapsed)/1e6, res.Steps)
+	t := res.ReplicaTotals()
+	fmt.Fprintf(w, "services: %d elections, %d fencing rejections, %d deposed, %d rejoins served, %d syncs\n",
+		t.Elections, t.FencingRejections, t.Deposed, t.RejoinsServed, t.Syncs)
+	fmt.Fprintf(w, "  leader gets %d, puts %d, replicated %d, solo acks %d\n",
+		t.Gets, t.Puts, t.Replicated, t.SoloAcks)
+	fmt.Fprintf(w, "  client redirects %d, failovers %d, ops salvaged %d\n",
+		res.Redirects, res.Failovers, res.Salvaged)
+	writeServiceLatency(w, res.Machines, res.Elapsed, []string{"kv.op", "kv.replicate"})
+	for i, sys := range res.Machines {
+		writeMachineSection(w, kvMachineName(i), sys, opt)
+	}
+	if res.Recovery.Crashes > 0 || opt.Failover {
+		writeRecoveryBody(w, res.Recovery, res.Machines)
+	}
+}

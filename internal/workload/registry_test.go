@@ -1,0 +1,26 @@
+package workload
+
+import "testing"
+
+// TestRegistryDeterminism is the cross-workload determinism regression:
+// for every registered workload, two same-seed sequential runs and one
+// parallel run must render byte-identical reports. A workload whose
+// behavior leaks wall-clock time, map iteration order, or goroutine
+// scheduling shows up here as a diff.
+func TestRegistryDeterminism(t *testing.T) {
+	for _, wl := range Registry() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			first := wl.Report(false)
+			if first == "" {
+				t.Fatal("empty report")
+			}
+			if again := wl.Report(false); again != first {
+				t.Fatalf("same-seed sequential rerun diverged:\nfirst:\n%s\nagain:\n%s", first, again)
+			}
+			if par := wl.Report(true); par != first {
+				t.Fatalf("parallel run diverged from sequential:\nsequential:\n%s\nparallel:\n%s", first, par)
+			}
+		})
+	}
+}

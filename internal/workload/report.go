@@ -34,43 +34,50 @@ func WriteNetRPCReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *
 		if opt.Failover {
 			name = haMachineName(i)
 		}
-		st := sys.K.Stats
-		total := st.TotalBlocks()
-		fmt.Fprintf(w, "\n%s — %d blocking operations\n", name, total)
-		fmt.Fprintf(w, "%-20s %12s %8s\n", "operation", "blocks", "%")
-		for _, r := range stats.DiscardReasons {
-			n := st.BlocksWithDiscard[r]
-			fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", r, n, stats.Percent(n, total))
-		}
-		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "total stack discards",
-			st.TotalDiscards(), stats.Percent(st.TotalDiscards(), total))
-		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "no stack discards",
-			st.TotalNoDiscards(), stats.Percent(st.TotalNoDiscards(), total))
-		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "stack handoff", st.Handoffs,
-			stats.Percent(st.Handoffs, total))
-		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "recognition", st.Recognitions,
-			stats.Percent(st.Recognitions, total))
-
-		fmt.Fprintf(w, "\n  devices:\n")
-		fmt.Fprintf(w, "    interrupts taken          %8d (all on the current stack)\n", st.Interrupts)
-		hc := sys.Dev.HandlerCost
-		fmt.Fprintf(w, "    handler cycles            %8d instrs, %d loads, %d stores\n",
-			hc.Instrs, hc.Loads, hc.Stores)
-		fmt.Fprintf(w, "    io_done handoffs          %8d, recognitions %d\n",
-			sys.Dev.IoDoneHandoffs, st.IoDoneRecognitions)
-		for _, d := range sys.Dev.Devices() {
-			fmt.Fprintf(w, "    %-8s requests         %8d, interrupts %d, queue high-water %d\n",
-				d.Name, d.Requests, d.Interrupts, d.QueueHighWater)
-		}
-		fmt.Fprintf(w, "    nic tx/rx                 %8d / %d packets\n",
-			sys.Net.NIC.TxPackets, sys.Net.NIC.RxPackets)
-		fmt.Fprintf(w, "    netmsg forwarded          %8d, delivered %d, inbox high-water %d\n",
-			sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
-		fmt.Fprintf(w, "  kernel stacks: %.3f average in use, %d worst case\n",
-			sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
-		writeFaultReport(w, sys, opt)
+		writeMachineSection(w, name, sys, opt)
 	}
 	writeRecoveryReport(w, res, opt)
+}
+
+// writeMachineSection prints one machine's block table, device counters
+// and stack-pool summary — the per-machine body every workload report
+// shares.
+func writeMachineSection(w io.Writer, name string, sys *kern.System, opt NetRPCReportOptions) {
+	st := sys.K.Stats
+	total := st.TotalBlocks()
+	fmt.Fprintf(w, "\n%s — %d blocking operations\n", name, total)
+	fmt.Fprintf(w, "%-20s %12s %8s\n", "operation", "blocks", "%")
+	for _, r := range stats.DiscardReasons {
+		n := st.BlocksWithDiscard[r]
+		fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", r, n, stats.Percent(n, total))
+	}
+	fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "total stack discards",
+		st.TotalDiscards(), stats.Percent(st.TotalDiscards(), total))
+	fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "no stack discards",
+		st.TotalNoDiscards(), stats.Percent(st.TotalNoDiscards(), total))
+	fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "stack handoff", st.Handoffs,
+		stats.Percent(st.Handoffs, total))
+	fmt.Fprintf(w, "%-20s %12d %7.1f%%\n", "recognition", st.Recognitions,
+		stats.Percent(st.Recognitions, total))
+
+	fmt.Fprintf(w, "\n  devices:\n")
+	fmt.Fprintf(w, "    interrupts taken          %8d (all on the current stack)\n", st.Interrupts)
+	hc := sys.Dev.HandlerCost
+	fmt.Fprintf(w, "    handler cycles            %8d instrs, %d loads, %d stores\n",
+		hc.Instrs, hc.Loads, hc.Stores)
+	fmt.Fprintf(w, "    io_done handoffs          %8d, recognitions %d\n",
+		sys.Dev.IoDoneHandoffs, st.IoDoneRecognitions)
+	for _, d := range sys.Dev.Devices() {
+		fmt.Fprintf(w, "    %-8s requests         %8d, interrupts %d, queue high-water %d\n",
+			d.Name, d.Requests, d.Interrupts, d.QueueHighWater)
+	}
+	fmt.Fprintf(w, "    nic tx/rx                 %8d / %d packets\n",
+		sys.Net.NIC.TxPackets, sys.Net.NIC.RxPackets)
+	fmt.Fprintf(w, "    netmsg forwarded          %8d, delivered %d, inbox high-water %d\n",
+		sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
+	fmt.Fprintf(w, "  kernel stacks: %.3f average in use, %d worst case\n",
+		sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
+	writeFaultReport(w, sys, opt)
 }
 
 // writeRecoveryReport prints the cluster-wide crash/failover accounting
@@ -80,6 +87,11 @@ func writeRecoveryReport(w io.Writer, res *NetRPCResult, opt NetRPCReportOptions
 	if !opt.Failover && r.Crashes == 0 {
 		return
 	}
+	writeRecoveryBody(w, r, res.Machines)
+}
+
+// writeRecoveryBody prints the shared crash/failover block.
+func writeRecoveryBody(w io.Writer, r RecoveryStats, machines []*kern.System) {
 	fmt.Fprintf(w, "\nrecovery:\n")
 	fmt.Fprintf(w, "  machine crashes %d, warm reboots %d\n", r.Crashes, r.Reboots)
 	fmt.Fprintf(w, "  peer deaths detected %d, recoveries %d\n", r.DeathsDetected, r.Recoveries)
@@ -87,7 +99,7 @@ func writeRecoveryReport(w io.Writer, res *NetRPCResult, opt NetRPCReportOptions
 		r.Failovers, r.Failbacks, r.Salvaged, r.Failed)
 	fmt.Fprintf(w, "  stale packets dropped %d, heartbeats sent %d\n",
 		r.StaleDropped, r.Heartbeats)
-	for i, sys := range res.Machines {
+	for i, sys := range machines {
 		if rec := sys.PanicRecord; rec != nil {
 			fmt.Fprintf(w, "  machine %d last %v\n", i, rec)
 		}

@@ -1,0 +1,259 @@
+// SvcGraph is the multi-tier service-graph workload: four machines in a
+// frontend -> cache -> replicated-KV chain. Frontend threads issue Gets
+// and Puts to the cache tier; cache workers answer hits locally and run
+// misses and write-throughs against the KV replica group through their
+// own embedded callers. Per-tier latency comes out of the obs service
+// histograms ("frontend" end-to-end, "cache.fetch" for backend trips,
+// "kv.replicate" for the replication path), so one report shows how a
+// backend crash propagates up the graph.
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dev"
+	"repro/internal/fault"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/svc"
+)
+
+// SvcGraphSpec sizes the service-graph workload.
+type SvcGraphSpec struct {
+	// Ops is how many operations each frontend thread issues; Frontends
+	// the frontend thread count.
+	Ops       int
+	Frontends int
+	// Workers is the cache tier's thread-pool size; Capacity its entry
+	// bound (FIFO eviction beyond it).
+	Workers  int
+	Capacity int
+	// Shards/Groups shape the backend shard map; Keyspan each frontend's
+	// private key range (small, so repeated Gets hit the cache);
+	// PutPer10k the write-through mix.
+	Shards    int
+	Groups    int
+	Keyspan   uint64
+	PutPer10k int
+	// Wire is the one-way NIC latency (dev.DefaultWireLatency if 0).
+	Wire machine.Duration
+	// Seed drives the frontend scripts; FaultSeed/FaultSpec the fault
+	// plan (crash machine indices: 0 frontend, 1 cache, 2 kv primary,
+	// 3 kv backup).
+	Seed      uint64
+	FaultSeed uint64
+	FaultSpec fault.Spec
+	// RPCTimeout bounds each tier's per-attempt receive; RenewEvery,
+	// IdleExit and DeadAfter tune the replicas and links as in KVSpec
+	// (arch-scaled defaults when zero).
+	RPCTimeout machine.Duration
+	RenewEvery machine.Duration
+	IdleExit   machine.Duration
+	DeadAfter  machine.Duration
+	// Parallel / DebugChecks as in the other workload specs.
+	Parallel    bool
+	DebugChecks bool
+}
+
+// DefaultSvcGraph returns the standard three-tier run: three frontend
+// threads over a two-worker cache with a capacity squeeze, a read-heavy
+// mix so the cache actually absorbs traffic.
+func DefaultSvcGraph() SvcGraphSpec {
+	return SvcGraphSpec{
+		Ops:       80,
+		Frontends: 3,
+		Workers:   2,
+		Capacity:  16,
+		Keyspan:   12,
+		PutPer10k: 1500,
+		Seed:      1991,
+	}
+}
+
+// SvcGraphResult reports one service-graph run.
+type SvcGraphResult struct {
+	Machines []*kern.System
+	Cache    *svc.CacheConfig
+	Replicas [svc.NumRanks]*svc.ReplicaConfig
+
+	Completed  int
+	Failed     int
+	Mismatches uint64
+	Salvaged   uint64
+
+	Elapsed  machine.Duration
+	Steps    uint64
+	Recovery RecoveryStats
+}
+
+// ReplicaTotals sums the backend replicas' service counters.
+func (r *SvcGraphResult) ReplicaTotals() svc.ReplicaStats {
+	kv := KVResult{Replicas: r.Replicas}
+	return kv.ReplicaTotals()
+}
+
+// RunSvcGraph boots and drives the three-tier cluster.
+func RunSvcGraph(flavor kern.Flavor, arch machine.Arch, spec SvcGraphSpec) *SvcGraphResult {
+	res, fronts := bootSvcGraph(flavor, arch, spec)
+	cluster := kern.NewCluster(res.Machines...)
+	start := res.Machines[0].K.Clock.Now()
+	res.Steps = cluster.Drive(spec.Parallel)
+	for _, f := range fronts {
+		res.Completed += f.Stats.Done
+		res.Failed += f.Stats.Failed
+		res.Mismatches += f.Stats.Mismatches
+		res.Salvaged += f.Stats.Salvaged
+	}
+	res.Elapsed = machine.Duration(res.Machines[0].K.Clock.Now() - start)
+	res.Recovery.fill(res.Machines)
+	res.Recovery.Salvaged = res.Salvaged
+	res.Recovery.Failed = uint64(res.Failed)
+	return res
+}
+
+// bootSvcGraph builds the chain: machine 0 runs the frontend threads,
+// machine 1 the cache tier, machines 2 and 3 the KV replicas. The
+// frontend reaches the cache on its only link; the cache reaches rank 0
+// on Links[1] and rank 1 on Links[2]; the replicas reach each other on
+// their Links[1].
+func bootSvcGraph(flavor kern.Flavor, arch machine.Arch, spec SvcGraphSpec) (*SvcGraphResult, []*svc.Caller) {
+	cfg := kern.Config{Flavor: flavor, Arch: arch}
+	frontends := spec.Frontends
+	if frontends <= 0 {
+		frontends = 1
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	ops := spec.Ops
+	if ops <= 0 {
+		ops = 80
+	}
+
+	res := &SvcGraphResult{}
+	sys := make([]*kern.System, 4)
+	for i := range sys {
+		sys[i] = kern.New(cfg)
+	}
+	frontend, cache, rank0, rank1 := sys[0], sys[1], sys[2], sys[3]
+	cache.AddLink()
+	cache.AddLink()
+	rank0.AddLink()
+	rank1.AddLink()
+	dev.Connect(frontend.Links[0].NIC, cache.Links[0].NIC, spec.Wire)
+	dev.Connect(cache.Links[1].NIC, rank0.Links[0].NIC, spec.Wire)
+	dev.Connect(cache.Links[2].NIC, rank1.Links[0].NIC, spec.Wire)
+	dev.Connect(rank0.Links[1].NIC, rank1.Links[1].NIC, spec.Wire)
+	tmo := provisionTimeouts(arch, spec.RPCTimeout, spec.RenewEvery, spec.IdleExit, spec.DeadAfter)
+	for i, s := range sys {
+		s.InjectFaults(spec.FaultSeed+uint64(i), spec.FaultSpec)
+		for _, n := range s.Links {
+			n.EnableReliable()
+			n.DeadAfter = tmo.deadAfter
+		}
+		if spec.DebugChecks {
+			s.K.DebugChecks = true
+			s.EnableWatchdog()
+		}
+		s.EnableObservation(0)
+	}
+
+	smap := svc.NewShardMap(spec.Shards, spec.Groups)
+
+	// KV replicas, as in the KV workload but with the cache's workers as
+	// their only clients and the peer on Links[1].
+	for rank, s := range []*kern.System{rank0, rank1} {
+		rcfg := &svc.ReplicaConfig{
+			Rank: rank, PeerRank: svc.NumRanks - 1 - rank,
+			Map: smap, PeerLink: 1, Clients: workers,
+			RenewEvery: tmo.renewEvery, IdleExit: tmo.idleExit,
+		}
+		res.Replicas[rank] = rcfg
+		s.RegisterService("kv-replica", func(s *kern.System) {
+			svc.InstallReplica(s, rcfg)
+		})
+	}
+
+	// Cache tier: durable config, volatile contents — a cache crash comes
+	// back empty and refills from the backend.
+	ccfg := &svc.CacheConfig{
+		Map: smap, Links: [svc.NumRanks]int{1, 2},
+		Workers: workers, Capacity: spec.Capacity,
+		Frontends: frontends, FirstClientID: 0,
+		Timeout: tmo.rpcTimeout, IdleExit: tmo.idleExit,
+	}
+	res.Cache = ccfg
+	cache.RegisterService("cache", func(s *kern.System) {
+		svc.InstallCache(s, ccfg)
+	})
+
+	// Frontend threads: plain callers aimed at the cache port. Both rank
+	// slots route over the frontend's single link — the cache is the only
+	// service they know.
+	var fronts []*svc.Caller
+	mine := make([]*svc.Caller, frontends)
+	for j := 0; j < frontends; j++ {
+		f := &svc.Caller{
+			Sys: frontend, Name: fmt.Sprintf("fe%d", j), ID: j,
+			Map: smap, Links: [svc.NumRanks]int{0, 0},
+			Port: svc.CachePortName, Timeout: tmo.rpcTimeout,
+			HistName: "frontend",
+			Ops:      kvOps(spec.Seed, j, ops, spec.Keyspan, spec.PutPer10k),
+			Track:    true,
+		}
+		mine[j] = f
+		fronts = append(fronts, f)
+	}
+	frontend.RegisterService("frontends", func(s *kern.System) {
+		ct := s.NewTask("frontend")
+		for _, f := range mine {
+			f.Reset(s)
+			s.Start(ct.NewThread(f.Name, f, 10))
+		}
+	})
+
+	res.Machines = sys
+	scheduleCrashPlan(sys, spec.FaultSpec.Crashes)
+	return res, fronts
+}
+
+// svcGraphMachineName labels the service-graph topology's machines.
+func svcGraphMachineName(i int) string {
+	switch i {
+	case 0:
+		return "machine 0 (frontend)"
+	case 1:
+		return "machine 1 (cache)"
+	case 2:
+		return "machine 2 (kv primary)"
+	default:
+		return "machine 3 (kv backup)"
+	}
+}
+
+// WriteSvcGraphReport prints the three-tier run in machsim's output
+// format: headline, tier counters, merged per-tier latency lines, then
+// the standard per-machine sections.
+func WriteSvcGraphReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *SvcGraphResult, opt NetRPCReportOptions) {
+	fmt.Fprintf(w, "SvcGraph on %v/%v — %d frontend ops completed (%d failed, %d mismatches) in %.2f simulated ms (%d cluster steps)\n",
+		flavor, arch, res.Completed, res.Failed, res.Mismatches,
+		float64(res.Elapsed)/1e6, res.Steps)
+	cs := res.Cache.Stats
+	fmt.Fprintf(w, "cache: %d hits, %d misses, %d write-throughs, %d evictions\n",
+		cs.Hits, cs.Misses, cs.WriteThroughs, cs.Evictions)
+	t := res.ReplicaTotals()
+	fmt.Fprintf(w, "services: %d elections, %d fencing rejections, %d deposed, %d rejoins served, %d syncs\n",
+		t.Elections, t.FencingRejections, t.Deposed, t.RejoinsServed, t.Syncs)
+	fmt.Fprintf(w, "  leader gets %d, puts %d, replicated %d, solo acks %d\n",
+		t.Gets, t.Puts, t.Replicated, t.SoloAcks)
+	writeServiceLatency(w, res.Machines, res.Elapsed,
+		[]string{"frontend", "cache.fetch", "kv.replicate"})
+	for i, sys := range res.Machines {
+		writeMachineSection(w, svcGraphMachineName(i), sys, opt)
+	}
+	if res.Recovery.Crashes > 0 || opt.Failover {
+		writeRecoveryBody(w, res.Recovery, res.Machines)
+	}
+}
