@@ -10,6 +10,7 @@
 //	        [-scale f] [-seed n] [-v]
 //	        [-pairs n] [-clients n] [-parallel] [-failover]
 //	        [-faults seed:spec] [-crash M@T[:reboot+N]]
+//	        [-fuzz seed:count] [-fuzzout dir] [-breakkv]
 //	        [-check] [-trace out.json] [-profile]
 //
 // Workloads:
@@ -40,6 +41,29 @@
 // kernel invariant sweep after every dispatch. The same -faults argument
 // always produces byte-identical output — the CI determinism smoke
 // diffs two such runs.
+//
+// Beyond the probabilistic keys, the spec grammar schedules topology
+// faults enforced at the NIC/link plane:
+//
+//   - partition=A|B@T+D cuts every link between machine groups A and B
+//     (dot-separated indices, e.g. 1|0.2.3) from offset T for duration D;
+//   - link=S>D:drop@T+D severs the one-way S->D path (the reverse
+//     direction keeps flowing — an asymmetric gray link);
+//   - link=S>D:delay[:X]@T+D stretches S->D wire latency by X (2ms if
+//     omitted);
+//   - gray=M:F@T+D runs machine M at 1/F speed — a gray failure: the
+//     machine is alive and answering, just pathologically slow.
+//
+// The kv workload records every client operation and checks the merged
+// history for per-key linearizability, plus a split-brain assertion over
+// the replicas' durable ack logs; the report prints the verdict and a
+// nemesis timeline. -fuzz seed:count generates `count` random nemesis
+// schedules from `seed`, runs the kv workload under each, and checks
+// every history; on a violation it greedily shrinks the schedule and
+// prints a minimal reproducing -faults argument, then exits nonzero.
+// -fuzzout dir dumps each schedule's history. -breakkv disables the
+// replicas' partition-heal safety machinery (rejoin state merge, deposed
+// stall) — the deliberately broken build the checker must flag.
 //
 // -crash M@T[:reboot+N] is sugar for a crash=… rule in the fault spec:
 // machine M halts at simulated offset T, dropping all in-flight state,
@@ -91,6 +115,9 @@ var (
 	clients      = flag.Int("clients", 1, "netrpc: client threads per client machine")
 	parallel     = flag.Bool("parallel", false, "netrpc: run machines on goroutines (byte-identical output)")
 	failover     = flag.Bool("failover", false, "netrpc: boot the 4-machine HA topology (client/primary/replica/client)")
+	fuzzFlag     = flag.String("fuzz", "", "kv: fuzz nemesis schedules, seed:count (e.g. 7:25)")
+	fuzzOut      = flag.String("fuzzout", "", "kv fuzz: directory receiving one history dump per schedule")
+	breakKV      = flag.Bool("breakkv", false, "kv: run the deliberately broken replicas (checker must flag them)")
 
 	// crashFlags collects the repeatable -crash flag's raw values; each is
 	// sugar for a crash=… rule in the -faults spec. The machine part may
@@ -181,6 +208,11 @@ func main() {
 	}
 
 	faultSpec.Crashes = append(faultSpec.Crashes, resolveCrashes(*workloadName)...)
+
+	if *fuzzFlag != "" {
+		runFuzz(flavor, arch)
+		return
+	}
 
 	switch *workloadName {
 	case "netrpc":
@@ -376,6 +408,7 @@ func runKV(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fa
 	}
 	spec.Parallel = *parallel
 	spec.DebugChecks = *check
+	spec.Break = *breakKV
 	res := workload.RunKV(flavor, arch, spec)
 
 	workload.WriteKVReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
@@ -403,6 +436,37 @@ func runSvcGraph(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultS
 		Faults: *faultsFlag != "" || len(faultSpec.Crashes) > 0, Check: *check,
 	})
 	emitClusterObservations(res.Machines)
+}
+
+// runFuzz runs the kv nemesis fuzzing campaign named by -fuzz seed:count
+// and exits nonzero when any schedule's history violates.
+func runFuzz(flavor kern.Flavor, arch machine.Arch) {
+	seedPart, countPart, ok := strings.Cut(*fuzzFlag, ":")
+	var seed uint64
+	var count int
+	if ok {
+		_, err1 := fmt.Sscanf(seedPart, "%d", &seed)
+		_, err2 := fmt.Sscanf(countPart, "%d", &count)
+		ok = err1 == nil && err2 == nil && count > 0
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "-fuzz wants seed:count, got %q\n", *fuzzFlag)
+		os.Exit(2)
+	}
+	res, err := workload.FuzzKV(workload.FuzzKVOptions{
+		Flavor: flavor, Arch: arch,
+		Seed: seed, Count: count,
+		Parallel: *parallel, Break: *breakKV,
+		OutDir: *fuzzOut, Out: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz: %d schedules checked, %d violations\n", res.Ran, res.Violations)
+	if res.Violations > 0 {
+		os.Exit(1)
+	}
 }
 
 // flagWasSet reports whether the named flag appeared on the command

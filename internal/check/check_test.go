@@ -1,0 +1,177 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/machine"
+)
+
+func op(client int, kind check.OpKind, key, val uint64, found bool, inv, ret machine.Time, ok bool) check.Op {
+	return check.Op{Client: client, Kind: kind, Key: key, Val: val, Found: found,
+		Invoke: inv, Return: ret, Ok: ok}
+}
+
+func TestLinearizableSequential(t *testing.T) {
+	h := []check.Op{
+		op(0, check.OpGet, 1, 0, false, 0, 10, true), // read before any write: absent
+		op(0, check.OpPut, 1, 7, false, 20, 30, true),
+		op(0, check.OpGet, 1, 7, true, 40, 50, true),
+		op(0, check.OpPut, 1, 9, false, 60, 70, true),
+		op(0, check.OpGet, 1, 9, true, 80, 90, true),
+	}
+	r := check.Linearizable(h)
+	if !r.Linearizable || r.Keys != 1 || r.Ops != 5 {
+		t.Fatalf("result = %+v (%s)", r, r)
+	}
+}
+
+// A concurrent put/get pair where the get sees the new value is legal
+// (the put linearizes first inside the overlap); seeing the old value is
+// equally legal.
+func TestLinearizableConcurrentOverlap(t *testing.T) {
+	for _, sees := range []struct {
+		val   uint64
+		found bool
+	}{{7, true}, {0, false}} {
+		h := []check.Op{
+			op(0, check.OpPut, 1, 7, false, 10, 40, true),
+			op(1, check.OpGet, 1, sees.val, sees.found, 20, 30, true),
+		}
+		if r := check.Linearizable(h); !r.Linearizable {
+			t.Fatalf("overlapping get seeing %v should pass: %s", sees, r)
+		}
+	}
+}
+
+// A stale read after a put's return is a violation: put returned at 30,
+// get invoked at 40 yet still saw the old state.
+func TestStaleReadFlagged(t *testing.T) {
+	h := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 10, 30, true),
+		op(1, check.OpGet, 1, 0, false, 40, 50, true),
+	}
+	r := check.Linearizable(h)
+	if r.Linearizable {
+		t.Fatal("stale read not flagged")
+	}
+	if len(r.Violations) != 1 || r.Violations[0].Key != 1 {
+		t.Fatalf("violations = %+v", r.Violations)
+	}
+	if !strings.Contains(r.String(), "NOT linearizable") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+// A lost acked write: put(7) acked, a later put(9) acked, then a read
+// sees 7 again after having seen 9 — the register went backwards.
+func TestLostWriteFlagged(t *testing.T) {
+	h := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 0, 10, true),
+		op(0, check.OpPut, 1, 9, false, 20, 30, true),
+		op(1, check.OpGet, 1, 9, true, 40, 50, true),
+		op(1, check.OpGet, 1, 7, true, 60, 70, true),
+	}
+	if r := check.Linearizable(h); r.Linearizable {
+		t.Fatal("regressed read not flagged")
+	}
+}
+
+// An indeterminate put may take effect (a later read of its value is
+// fine) or may never have happened (a later read of the old value is
+// also fine).
+func TestIndeterminatePut(t *testing.T) {
+	base := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 0, 10, true),
+		op(0, check.OpPut, 1, 9, false, 20, 0, false), // timed out
+	}
+	applied := append(append([]check.Op(nil), base...),
+		op(1, check.OpGet, 1, 9, true, 40, 50, true))
+	if r := check.Linearizable(applied); !r.Linearizable {
+		t.Fatalf("indeterminate put observed should pass: %s", r)
+	}
+	vanished := append(append([]check.Op(nil), base...),
+		op(1, check.OpGet, 1, 7, true, 40, 50, true))
+	if r := check.Linearizable(vanished); !r.Linearizable {
+		t.Fatalf("indeterminate put vanished should pass: %s", r)
+	}
+	// But it cannot half-happen: observed then gone is a violation.
+	flip := append(append([]check.Op(nil), base...),
+		op(1, check.OpGet, 1, 9, true, 40, 50, true),
+		op(1, check.OpGet, 1, 7, true, 60, 70, true))
+	if r := check.Linearizable(flip); r.Linearizable {
+		t.Fatal("half-applied indeterminate put not flagged")
+	}
+}
+
+// An indeterminate put cannot take effect before its invocation.
+func TestIndeterminatePutNotEarly(t *testing.T) {
+	h := []check.Op{
+		op(0, check.OpGet, 1, 9, true, 0, 10, true), // reads 9 before the put exists
+		op(0, check.OpPut, 1, 9, false, 20, 0, false),
+	}
+	if r := check.Linearizable(h); r.Linearizable {
+		t.Fatal("time-travelling indeterminate put not flagged")
+	}
+}
+
+// Indeterminate gets constrain nothing and are dropped.
+func TestIndeterminateGetDropped(t *testing.T) {
+	h := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 0, 10, true),
+		op(1, check.OpGet, 1, 999, true, 20, 0, false),
+	}
+	r := check.Linearizable(h)
+	if !r.Linearizable || r.Ops != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+// Keys are independent registers: a violation on one key names that key
+// and leaves the other passing.
+func TestPerKeyIsolation(t *testing.T) {
+	h := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 0, 10, true),
+		op(0, check.OpGet, 1, 7, true, 20, 30, true),
+		op(1, check.OpPut, 2, 5, false, 0, 10, true),
+		op(1, check.OpGet, 2, 0, false, 40, 50, true), // violation on key 2
+	}
+	r := check.Linearizable(h)
+	if r.Linearizable || len(r.Violations) != 1 || r.Violations[0].Key != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestSearchBound(t *testing.T) {
+	var h []check.Op
+	for i := 0; i < 65; i++ {
+		h = append(h, op(0, check.OpPut, 1, uint64(i), false,
+			machine.Time(i*10), machine.Time(i*10+5), true))
+	}
+	r := check.Linearizable(h)
+	if r.Linearizable || r.SkippedKeys != 1 {
+		t.Fatalf("over-bound key must not pass: %+v", r)
+	}
+	if !strings.Contains(r.String(), "search bound") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestSplitBrain(t *testing.T) {
+	r0 := map[check.AckKey]uint64{
+		{Group: 0, Epoch: 1}: 5,
+		{Group: 1, Epoch: 2}: 3,
+	}
+	r1 := map[check.AckKey]uint64{
+		{Group: 0, Epoch: 2}: 4, // different epoch: fine
+		{Group: 1, Epoch: 2}: 1, // same (group, epoch) as r0: split brain
+	}
+	bad := check.SplitBrain([]map[check.AckKey]uint64{r0, r1})
+	if len(bad) != 1 || bad[0] != (check.AckKey{Group: 1, Epoch: 2}) {
+		t.Fatalf("split brain = %+v", bad)
+	}
+	if got := check.SplitBrain([]map[check.AckKey]uint64{r0, {}}); len(got) != 0 {
+		t.Fatalf("healthy logs flagged: %+v", got)
+	}
+}

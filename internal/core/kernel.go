@@ -952,7 +952,7 @@ func init() {
 // runUser burns a user-mode CPU burst, splitting it at a preemption
 // point when one arrives first.
 func (k *Kernel) runUser(e *Env, t *Thread, cycles uint64) {
-	us := float64(cycles) / k.Model.MHz
+	us := k.Acct.ScaleMicros(float64(cycles) / k.Model.MHz)
 	k.runUserDur(e, t, machine.Duration(us*1000+0.5))
 }
 

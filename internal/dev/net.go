@@ -119,6 +119,14 @@ type NIC struct {
 	// duplication, and delay (reordering).
 	Fault *fault.Plan
 
+	// Topo, when non-nil, is the cluster's shared topology-fault schedule
+	// (partitions, asymmetric link faults), consulted per transmit with
+	// Machine as this NIC's cluster machine index. Read-only and a pure
+	// function of time, so sharing one Topology across machines is safe
+	// under the parallel driver. Both survive a warm reboot with the NIC.
+	Topo    *fault.Topology
+	Machine int
+
 	// Counters.
 	TxPackets   uint64
 	RxPackets   uint64
@@ -126,6 +134,8 @@ type NIC struct {
 	Dropped     uint64 // transmissions lost to injected drops
 	Duplicated  uint64 // transmissions that arrived twice
 	Delayed     uint64 // transmissions held back on the wire
+	Severed     uint64 // transmissions cut by a partition or drop-link window
+	LinkDelayed uint64 // transmissions slowed by a delay-link window
 	RxWhileDown uint64 // arrivals discarded because the machine was down
 }
 
@@ -210,6 +220,15 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 	}
 	e.Charge(nicTxCost.Plus(machine.CopyBytes(pkt.Size)))
 	n.TxPackets++
+	now := n.Sub.K.Clock.Now()
+	// Topology faults come first and are deterministic functions of time —
+	// a severed packet consumes no draws from the probabilistic plan, so a
+	// spec without topology rules keeps its exact fault stream.
+	if n.Topo.CutAt(n.Machine, n.peer.Machine, now) {
+		n.Severed++
+		n.emitWireFault(e, "cut")
+		return
+	}
 	if n.Fault.DropPacket() {
 		// Lost on the wire: the sender already paid the tx cost and, if
 		// running the reliability protocol, will retransmit.
@@ -218,6 +237,13 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 		return
 	}
 	wire := n.Wire
+	if extra := n.Topo.ExtraDelay(n.Machine, n.peer.Machine, now); extra > 0 {
+		// Degraded link: every packet in the window is late by the same
+		// amount, unlike the probabilistic reordering delay below.
+		n.LinkDelayed++
+		n.emitWireFault(e, fmt.Sprintf("link delay +%dus", uint64(extra)/1000))
+		wire += extra
+	}
 	if extra := n.Fault.DelayPacket(); extra > 0 {
 		// Held back: a later transmission can overtake this one.
 		n.Delayed++
@@ -225,7 +251,7 @@ func (n *NIC) Transmit(e *core.Env, pkt *Packet) {
 		wire += extra
 	}
 	peer := n.peer
-	arrival := n.Sub.K.Clock.Now() + wire
+	arrival := now + wire
 	n.deliverAt(arrival, peer.rxLabel, pkt)
 	if n.Fault.DupPacket() {
 		n.Duplicated++

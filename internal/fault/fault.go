@@ -46,6 +46,16 @@ type Spec struct {
 	// The machine index is interpreted by the workload that boots the
 	// cluster, so one spec string can describe a multi-machine plan.
 	Crashes []Crash
+
+	// Partitions, Links and Grays are the scheduled topology faults
+	// (see topology.go): bidirectional splits between machine groups,
+	// asymmetric one-way link degradations, and machine-wide slowdowns.
+	// Like Crashes they are certainties with explicit windows, not
+	// probabilistic draws, so a spec carrying only topology rules keeps
+	// every machine's random stream untouched.
+	Partitions []Partition
+	Links      []LinkFault
+	Grays      []Gray
 }
 
 // Crash is one scheduled whole-machine failure.
@@ -63,7 +73,8 @@ type Crash struct {
 func (s Spec) Zero() bool {
 	return s.DeviceFailProb == 0 && s.DeviceSlowProb == 0 &&
 		s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0 &&
-		len(s.Crashes) == 0
+		len(s.Crashes) == 0 &&
+		len(s.Partitions) == 0 && len(s.Links) == 0 && len(s.Grays) == 0
 }
 
 // ParseSpec parses a comma-separated rule list:
@@ -74,39 +85,81 @@ func (s Spec) Zero() bool {
 // where the duration uses Go syntax ("2ms", "400us"). Omitted durations
 // default to 2ms.
 //
-// The crash rule is scheduled, not probabilistic: "crash=M@T" kills
-// machine M at offset T, and "crash=M@T:reboot+N" warm-reboots it N
-// later, e.g. crash=1@40ms:reboot+80ms. The rule may repeat to crash
-// several machines (or the same machine again after its reboot).
+// The scheduled (non-probabilistic) rules are certainties with explicit
+// windows; each may repeat:
+//
+//	crash=M@T[:reboot+N]        kill machine M at T, warm-reboot N later
+//	partition=A|B@T+dur         cut all links between machine groups A
+//	                            and B (dot-separated indices, e.g.
+//	                            partition=1|0.2.3@40ms+30ms)
+//	link=S>D:drop@T+dur         drop every packet S->D in the window
+//	link=S>D:delay:X@T+dur      delay every packet S->D by X
+//	gray=M:F@T+dur              stretch machine M's compute time by
+//	                            factor F (e.g. gray=1:8@40ms+30ms)
+//
+// Errors name the offending rule by index and text, and a probabilistic
+// key may appear at most once (a repeated drop= is rejected, not
+// silently overwritten).
 func ParseSpec(s string) (Spec, error) {
 	var spec Spec
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return spec, nil
 	}
-	for _, rule := range strings.Split(s, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(rule), "=")
-		if !ok {
-			return spec, fmt.Errorf("fault: rule %q is not key=value", rule)
+	seen := make(map[string]bool)
+	for i, rule := range strings.Split(s, ",") {
+		rule = strings.TrimSpace(rule)
+		fail := func(format string, args ...any) (Spec, error) {
+			return Spec{}, fmt.Errorf("fault: rule %d (%q): %s", i, rule, fmt.Sprintf(format, args...))
 		}
-		if key == "crash" {
+		key, val, ok := strings.Cut(rule, "=")
+		if !ok {
+			return fail("not key=value")
+		}
+		switch key {
+		case "crash":
 			c, err := ParseCrash(val)
 			if err != nil {
-				return spec, err
+				return fail("%s", strings.TrimPrefix(err.Error(), "fault: "))
 			}
 			spec.Crashes = append(spec.Crashes, c)
 			continue
+		case "partition":
+			p, err := parsePartition(val)
+			if err != nil {
+				return fail("%v", err)
+			}
+			spec.Partitions = append(spec.Partitions, p)
+			continue
+		case "link":
+			l, err := parseLink(val)
+			if err != nil {
+				return fail("%v", err)
+			}
+			spec.Links = append(spec.Links, l)
+			continue
+		case "gray":
+			g, err := parseGray(val)
+			if err != nil {
+				return fail("%v", err)
+			}
+			spec.Grays = append(spec.Grays, g)
+			continue
 		}
+		if seen[key] {
+			return fail("duplicate %s rule (earlier value would be silently lost)", key)
+		}
+		seen[key] = true
 		probPart, durPart, hasDur := strings.Cut(val, ":")
 		prob, err := strconv.ParseFloat(probPart, 64)
 		if err != nil || prob < 0 || prob > 1 {
-			return spec, fmt.Errorf("fault: rule %q needs a probability in [0,1]", rule)
+			return fail("needs a probability in [0,1]")
 		}
 		extra := machine.Duration(2 * 1000 * 1000) // 2 ms default
 		if hasDur {
 			d, err := time.ParseDuration(durPart)
 			if err != nil || d < 0 {
-				return spec, fmt.Errorf("fault: rule %q has a bad duration", rule)
+				return fail("bad duration %q", durPart)
 			}
 			extra = machine.Duration(d.Nanoseconds())
 		}
@@ -124,10 +177,145 @@ func ParseSpec(s string) (Spec, error) {
 			spec.DelayProb = prob
 			spec.DelayExtra = extra
 		default:
-			return spec, fmt.Errorf("fault: unknown rule %q", key)
+			return fail("unknown rule key %q", key)
 		}
 	}
 	return spec, nil
+}
+
+// parseWindow parses the trailing "@T+dur" of a scheduled topology rule,
+// returning the rule head (everything before the @) and the window.
+func parseWindow(val string) (head string, at, dur machine.Duration, err error) {
+	head, win, ok := strings.Cut(val, "@")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("wants a @T+dur window")
+	}
+	atPart, durPart, ok := strings.Cut(win, "+")
+	if !ok {
+		return "", 0, 0, fmt.Errorf("window %q wants T+dur", win)
+	}
+	t, err := time.ParseDuration(atPart)
+	if err != nil || t < 0 {
+		return "", 0, 0, fmt.Errorf("bad window start %q", atPart)
+	}
+	d, err := time.ParseDuration(durPart)
+	if err != nil || d <= 0 {
+		return "", 0, 0, fmt.Errorf("bad window duration %q", durPart)
+	}
+	return head, machine.Duration(t.Nanoseconds()), machine.Duration(d.Nanoseconds()), nil
+}
+
+// parseGroup parses a dot-separated machine-index list ("0.2.3").
+func parseGroup(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty machine group")
+	}
+	parts := strings.Split(s, ".")
+	g := make([]int, 0, len(parts))
+	for _, p := range parts {
+		m, err := strconv.Atoi(p)
+		if err != nil || m < 0 {
+			return nil, fmt.Errorf("bad machine index %q", p)
+		}
+		g = append(g, m)
+	}
+	return g, nil
+}
+
+// parsePartition parses "A|B@T+dur" with A and B dot-separated machine
+// groups.
+func parsePartition(val string) (Partition, error) {
+	var p Partition
+	head, at, dur, err := parseWindow(val)
+	if err != nil {
+		return p, err
+	}
+	aPart, bPart, ok := strings.Cut(head, "|")
+	if !ok {
+		return p, fmt.Errorf("wants groups A|B before the window")
+	}
+	if p.A, err = parseGroup(aPart); err != nil {
+		return p, err
+	}
+	if p.B, err = parseGroup(bPart); err != nil {
+		return p, err
+	}
+	for _, m := range p.A {
+		if contains(p.B, m) {
+			return p, fmt.Errorf("machine %d is in both groups", m)
+		}
+	}
+	p.At, p.Dur = at, dur
+	return p, nil
+}
+
+// parseLink parses "S>D:drop@T+dur" or "S>D:delay:X@T+dur".
+func parseLink(val string) (LinkFault, error) {
+	var l LinkFault
+	head, at, dur, err := parseWindow(val)
+	if err != nil {
+		return l, err
+	}
+	pair, modePart, ok := strings.Cut(head, ":")
+	if !ok {
+		return l, fmt.Errorf("wants S>D:drop or S>D:delay[:X]")
+	}
+	sPart, dPart, ok := strings.Cut(pair, ">")
+	if !ok {
+		return l, fmt.Errorf("wants a src>dst machine pair")
+	}
+	if l.Src, err = strconv.Atoi(sPart); err != nil || l.Src < 0 {
+		return l, fmt.Errorf("bad src machine %q", sPart)
+	}
+	if l.Dst, err = strconv.Atoi(dPart); err != nil || l.Dst < 0 {
+		return l, fmt.Errorf("bad dst machine %q", dPart)
+	}
+	if l.Src == l.Dst {
+		return l, fmt.Errorf("src and dst are the same machine")
+	}
+	mode, extraPart, hasExtra := strings.Cut(modePart, ":")
+	switch mode {
+	case "drop":
+		if hasExtra {
+			return l, fmt.Errorf("drop takes no extra latency")
+		}
+		l.Mode = LinkDrop
+	case "delay":
+		l.Mode = LinkDelay
+		l.Extra = machine.Duration(2 * 1000 * 1000) // 2 ms default
+		if hasExtra {
+			x, err := time.ParseDuration(extraPart)
+			if err != nil || x <= 0 {
+				return l, fmt.Errorf("bad delay %q", extraPart)
+			}
+			l.Extra = machine.Duration(x.Nanoseconds())
+		}
+	default:
+		return l, fmt.Errorf("unknown link mode %q", mode)
+	}
+	l.At, l.Dur = at, dur
+	return l, nil
+}
+
+// parseGray parses "M:F@T+dur".
+func parseGray(val string) (Gray, error) {
+	var g Gray
+	head, at, dur, err := parseWindow(val)
+	if err != nil {
+		return g, err
+	}
+	mPart, fPart, ok := strings.Cut(head, ":")
+	if !ok {
+		return g, fmt.Errorf("wants M:factor before the window")
+	}
+	if g.Machine, err = strconv.Atoi(mPart); err != nil || g.Machine < 0 {
+		return g, fmt.Errorf("bad machine index %q", mPart)
+	}
+	if g.Factor, err = strconv.ParseFloat(fPart, 64); err != nil || g.Factor <= 0 {
+		return g, fmt.Errorf("bad slowdown factor %q", fPart)
+	}
+	g.At, g.Dur = at, dur
+	return g, nil
 }
 
 // ParseCrash parses one crash rule value "M@T" or "M@T:reboot+N" (the

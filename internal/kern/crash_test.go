@@ -373,3 +373,48 @@ func TestReaperReleasesHaltedThreadResources(t *testing.T) {
 	}
 	sys.K.MustValidate()
 }
+
+// TestWatchdogNoSpuriousStallAfterCrashReboot: a machine that crashes
+// while the stall detector is armed must not fire a spurious stall in
+// the rebooted incarnation. The pre-crash stuck queue died with the old
+// incarnation, and the downtime is idleness, not lack of progress — the
+// reboot re-registers the watchdog with a fresh baseline, and the Down
+// window itself re-baselines the stall clock.
+func TestWatchdogNoSpuriousStallAfterCrashReboot(t *testing.T) {
+	_, sys, _ := bootNetPair(t)
+	sys.K.DebugChecks = true
+	w := sys.EnableWatchdog()
+	w.StallThreshold = machine.Duration(20 * 1e6)
+
+	task := sys.NewTask("t")
+	sys.Start(task.NewThread("stuck", exitProg, 10))
+	// First stuck observation arms the stall clock without firing.
+	if err := w.Check(); err != nil {
+		t.Fatalf("arming observation fired: %v", err)
+	}
+
+	// Crash while armed; sit down well past the stall threshold.
+	sys.Crash(machine.Duration(60 * 1e6))
+	sys.K.Clock.Advance(machine.Duration(30 * 1e6))
+	if err := w.Check(); err != nil {
+		t.Fatalf("watchdog fired on a down machine: %v", err)
+	}
+	sys.K.Clock.Advance(machine.Duration(30 * 1e6))
+	sys.Reboot()
+	if sys.Incarnation != 2 {
+		t.Fatalf("Incarnation = %d, want 2", sys.Incarnation)
+	}
+
+	// The new incarnation boots with its own runnable threads; neither
+	// the stale arming nor the 60ms clock jump may count against them.
+	if err := w.Check(); err != nil {
+		t.Fatalf("spurious stall after warm reboot: %v", err)
+	}
+	sys.Run(0)
+	if err := w.Check(); err != nil {
+		t.Fatalf("watchdog failing after post-reboot dispatch: %v", err)
+	}
+	if w.Stalls != 0 {
+		t.Fatalf("Stalls = %d across crash/reboot, want 0", w.Stalls)
+	}
+}

@@ -19,10 +19,36 @@ func (s *System) InjectFaults(seed uint64, spec fault.Spec) {
 		s.Dev.SetFaultPlan(fault.New(seed, spec))
 	}
 	wire := spec.DropProb > 0 || spec.DupProb > 0 || spec.DelayProb > 0
+	lossy := wire || len(spec.Crashes) > 0 ||
+		len(spec.Partitions) > 0 || len(spec.Links) > 0
 	for i, n := range s.Links {
 		n.NIC.Fault = fault.New(seed^0x9e3779b97f4a7c15^uint64(i)*0xbf58476d1ce4e5b9, spec)
-		if wire || len(spec.Crashes) > 0 {
+		if lossy {
 			n.EnableReliable()
+		}
+	}
+}
+
+// InstallTopology binds this machine into the cluster's shared
+// topology-fault schedule: machineID is the cluster machine index the
+// spec's partition/link/gray rules name, and topo (one immutable object
+// shared by every machine) is consulted by each NIC on transmit. A gray
+// rule targeting this machine installs the time-scale hook on the cost
+// accumulator, stretching every charged cost — and user-mode CPU bursts —
+// by the window's factor. Both the NIC fields and the accumulator
+// survive warm reboots, so a partition or slowdown spanning a crash
+// keeps biting the new incarnation. Nil topo is a no-op.
+func (s *System) InstallTopology(machineID int, topo *fault.Topology) {
+	if topo == nil {
+		return
+	}
+	for _, n := range s.Links {
+		n.NIC.Machine = machineID
+		n.NIC.Topo = topo
+	}
+	if topo.HasGray(machineID) {
+		s.K.Acct.TimeScale = func() float64 {
+			return topo.Slowdown(machineID, s.K.Clock.Now())
 		}
 	}
 }

@@ -50,6 +50,12 @@ type Accumulator struct {
 	// AdvanceClock, when true, moves the simulated clock forward as costs
 	// are charged so that event timing reflects kernel execution time.
 	AdvanceClock bool
+
+	// TimeScale, when non-nil, multiplies the simulated duration of every
+	// charge — the gray-failure hook: a slowdown factor > 1 makes the
+	// machine compute slower without being down. Consulted per charge so a
+	// scheduled slowdown window can start and end mid-run.
+	TimeScale func() float64
 }
 
 // NewAccumulator returns an accumulator charging against model and,
@@ -66,8 +72,19 @@ func (a *Accumulator) Charge(c Cost) {
 	a.total.Add(c)
 	a.span.Add(c)
 	if a.AdvanceClock && a.clock != nil {
-		a.clock.AdvanceMicros(a.model.TimeMicros(c))
+		a.clock.AdvanceMicros(a.ScaleMicros(a.model.TimeMicros(c)))
 	}
+}
+
+// ScaleMicros applies the gray-failure time scale to a simulated
+// duration; identity when no scale is installed. Exposed for the one
+// charge path that bypasses Charge (user-mode CPU bursts, which are
+// pre-converted to time).
+func (a *Accumulator) ScaleMicros(us float64) float64 {
+	if a.TimeScale == nil {
+		return us
+	}
+	return us * a.TimeScale()
 }
 
 // ChargeInstrs charges n straight-line instructions with no data traffic.

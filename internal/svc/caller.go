@@ -3,6 +3,7 @@ package svc
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ipc"
 	"repro/internal/kern"
@@ -84,8 +85,18 @@ type Caller struct {
 	// Track enables the acked-Put/Get consistency bookkeeping; only valid
 	// when this caller's keys are written by nobody else.
 	Track bool
+	// Record makes the caller log every scripted operation into History
+	// for the post-run linearizability check: invoke/return stamped with
+	// simulated time, unacknowledged ops marked indeterminate. The slice
+	// is caller-local (no cross-machine sharing), so recording is safe
+	// under the parallel driver and merge order is the workload's problem.
+	Record bool
 
 	Stats CallerStats
+	// History is the recorded operation log (Record only). It survives
+	// the caller's machine crashing — the history is the client's own
+	// notebook, not server state.
+	History []check.Op
 
 	// Last* report the most recently completed one-shot operation.
 	LastOK    bool
@@ -279,10 +290,18 @@ func (c *Caller) complete(w *Wire, t *core.Thread) {
 	if c.attempts > 1 {
 		c.Stats.Salvaged++
 	}
+	now := c.Sys.K.Clock.Now()
 	if c.HistName != "" {
 		if r := c.Sys.K.Obs; r != nil {
-			r.Service(c.HistName).Observe(uint64(c.Sys.K.Clock.Now() - c.started))
+			r.Service(c.HistName).Observe(uint64(now - c.started))
 		}
+	}
+	if c.Record {
+		c.History = append(c.History, check.Op{
+			Client: c.ID, Kind: histKind(op.Op), Key: op.Key,
+			Val: histVal(op, w), Found: op.Op == OpPut || w.Found,
+			Invoke: c.started, Return: now, Ok: true,
+		})
 	}
 	c.LastOK, c.LastFound, c.LastVal = true, w.Found, w.Val
 	if c.Track {
@@ -308,6 +327,13 @@ func (c *Caller) abandon() {
 		return
 	}
 	c.Stats.Failed++
+	if c.Record {
+		op := c.Ops[c.idx]
+		c.History = append(c.History, check.Op{
+			Client: c.ID, Kind: histKind(op.Op), Key: op.Key, Val: op.Val,
+			Invoke: c.started, Return: c.Sys.K.Clock.Now(), Ok: false,
+		})
+	}
 	c.LastOK, c.LastFound = false, false
 	if c.Track && c.Ops[c.idx].Op == OpPut {
 		// The write may or may not have landed; the key proves nothing
@@ -315,6 +341,23 @@ func (c *Caller) abandon() {
 		delete(c.acked, c.Ops[c.idx].Key)
 	}
 	c.advance()
+}
+
+// histKind maps a wire op to the checker's operation kind.
+func histKind(op Op) check.OpKind {
+	if op == OpPut {
+		return check.OpPut
+	}
+	return check.OpGet
+}
+
+// histVal is the value a history entry carries: what a put wrote, or
+// what a get observed.
+func histVal(op KVOp, w *Wire) uint64 {
+	if op.Op == OpPut {
+		return op.Val
+	}
+	return w.Val
 }
 
 func (c *Caller) advance() {

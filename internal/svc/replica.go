@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ipc"
 	"repro/internal/kern"
@@ -40,10 +41,18 @@ type ReplicaStats struct {
 	SoloAcks          uint64 // writes acked without a live backup
 	Syncs             uint64 // rejoin state transfers installed
 	RejoinsServed     uint64 // rejoin probes answered
+	Merged            uint64 // entries installed from rejoin-probe snapshots
+	Stalled           uint64 // client ops dropped while deposed-dirty
 	Gets              uint64 // client reads served as leader
 	Puts              uint64 // client writes applied as leader
 	Replicated        uint64 // follower writes applied from the leader
 }
+
+// AckKey identifies one (group, epoch) pair under which client writes
+// were acknowledged — the unit of the split-brain assertion: two ranks
+// both acking writes under the same key is a fencing failure. It is the
+// checker's own type so the post-run intersection needs no conversion.
+type AckKey = check.AckKey
 
 // ReplicaConfig is the durable half of a replica: everything here
 // survives a machine crash (it models fsynced metadata plus static
@@ -70,6 +79,19 @@ type ReplicaConfig struct {
 	// QueueLimit sizes the service port's message queue (default 64).
 	QueueLimit int
 	Stats      *ReplicaStats
+
+	// AckLog records every (group, epoch) this rank acknowledged a client
+	// write under. Durable (it models the fsynced commit record), so the
+	// split-brain checker can intersect both ranks' logs after the run:
+	// a pair present in both is two primaries acking under one lease.
+	AckLog map[AckKey]uint64
+
+	// Break deliberately disables the partition-heal safety protocol —
+	// the rejoin snapshot merge and the deposed-dirty client stall — so
+	// acked writes can be lost across a heal. It exists to prove the
+	// linearizability checker can fail: a build with Break set must be
+	// flagged. Never set outside tests and machsim -breakkv.
+	Break bool
 
 	// done/doneLeft track which client threads have reported completion.
 	// Durable: a replica that crashes after acknowledging a done must
@@ -104,6 +126,7 @@ func (c *ReplicaConfig) idleExit() machine.Duration {
 type pendingRep struct {
 	group int
 	seq   uint64
+	epoch uint64 // lease epoch at accept time, for the ack log
 	opid  uint32
 	reply *ipc.Port
 	at    machine.Time
@@ -127,11 +150,17 @@ type Replica struct {
 	cfg  *ReplicaConfig
 	port *ipc.Port
 
-	store   []map[uint64]Entry // per shard, version-checked apply
-	seq     []uint64           // per group replication high-water
-	pending []pendingRep
-	out     []outbound
-	recovering   bool
+	store      []map[uint64]Entry // per shard, version-checked apply
+	seq        []uint64           // per group replication high-water
+	pending    []pendingRep
+	out        []outbound
+	recovering bool
+	// deposedDirty marks the window between learning I was fenced and the
+	// peer's MsgRejoinOK confirming my solo-acked writes were merged. While
+	// set, client ops are silently dropped instead of redirected: a client
+	// sent to the new leader before the merge lands could read a value
+	// older than one I already acknowledged.
+	deposedDirty bool
 	lastRenew    machine.Time
 	lastRejoin   machine.Time
 	lastActivity machine.Time
@@ -152,6 +181,9 @@ func InstallReplica(s *kern.System, cfg *ReplicaConfig) {
 	}
 	if cfg.Leases == nil {
 		cfg.Leases = NewLeaseTable(cfg.Map)
+	}
+	if cfg.AckLog == nil {
+		cfg.AckLog = make(map[AckKey]uint64)
 	}
 	if cfg.done == nil {
 		cfg.done = make([]bool, cfg.Clients)
@@ -311,14 +343,45 @@ func (r *Replica) tick(t *core.Thread) {
 		}
 	}
 
-	if r.recovering && peerUp && (r.lastRejoin == 0 || now-r.lastRejoin >= 2*r.cfg.renewEvery()) {
+	// Rejoin probes flow even while the peer is presumed dead: after a
+	// partition heals with every retransmit exhausted, nothing else moves
+	// on the replica link, so the probe itself must be the traffic whose
+	// arrival flips the peer's membership view back to alive. The probe
+	// carries this side's store so the peer can merge writes solo-acked
+	// under the old lease (empty on a fresh incarnation — crash recovery
+	// keeps its pure snapshot-pull shape).
+	if r.recovering && (r.lastRejoin == 0 || now-r.lastRejoin >= 2*r.cfg.renewEvery()) {
 		r.lastRejoin = now
 		leaders := make([]int, len(leases.L))
 		for g := range leases.L {
 			leaders[g] = leases.L[g].Leader
 		}
-		r.pushPeer(&Wire{Kind: MsgRejoin, Epochs: leases.Epochs(), Leaders: leaders})
+		r.pushPeer(&Wire{Kind: MsgRejoin, Epochs: leases.Epochs(), Leaders: leaders,
+			Snap: r.snapshot(), Seqs: append([]uint64(nil), r.seq...)})
 	}
+}
+
+// recordAck notes a client-write acknowledgement under (group, epoch) in
+// the durable ack log — the split-brain checker's evidence.
+func (r *Replica) recordAck(g int, epoch uint64) {
+	r.cfg.AckLog[AckKey{Group: g, Epoch: epoch}]++
+}
+
+// bouncePending answers every pending write of group g with a redirect —
+// used when leadership of g was adopted away without an explicit fencing
+// reject (a renewal or rejoin grant taught us a newer lease), where the
+// backup's MsgRepOK will never come and the clients would hang forever.
+func (r *Replica) bouncePending(g, leader int) {
+	kept := r.pending[:0]
+	for _, p := range r.pending {
+		if p.group != g {
+			kept = append(kept, p)
+			continue
+		}
+		r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid,
+			NotLeader: true, Leader: leader})
+	}
+	r.pending = kept
 }
 
 // ackPendingSolo answers every waiting client directly — the backup is
@@ -327,6 +390,7 @@ func (r *Replica) tick(t *core.Thread) {
 func (r *Replica) ackPendingSolo(now machine.Time) {
 	for _, p := range r.pending {
 		r.cfg.Stats.SoloAcks++
+		r.recordAck(p.group, p.epoch)
 		r.observeRep(now, p.at)
 		r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid, Found: true})
 	}
@@ -388,6 +452,7 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 				continue
 			}
 			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			r.recordAck(p.group, p.epoch)
 			r.observeRep(now, p.at)
 			r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid, Found: true})
 			break
@@ -395,7 +460,9 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 
 	case MsgRepReject:
 		// I have been fenced: a newer lease exists. Fall in line, bounce
-		// my waiting clients to the real leader, and resync.
+		// my waiting clients to the real leader, and resync. Until the
+		// rejoin round-trip confirms my solo-acked writes reached the new
+		// leader, client ops stall rather than redirect (deposedDirty).
 		stats.Deposed++
 		leases.Adopt(w.Group, w.Epoch, w.Leader)
 		for _, p := range r.pending {
@@ -404,6 +471,9 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 		}
 		r.pending = r.pending[:0]
 		r.recovering = true
+		if !r.cfg.Break {
+			r.deposedDirty = true
+		}
 		r.lastRejoin = 0
 
 	case MsgRenew:
@@ -419,6 +489,13 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 			return
 		}
 		leases.Adopt(g, w.Epoch, w.Leader)
+		if leases.L[g].Leader != r.cfg.Rank {
+			// Leadership moved away without an explicit fencing reject
+			// (asymmetric link: my replicates never arrive, the peer's
+			// renewals do). Waiting writes would hang forever on a RepOK
+			// that cannot come — redirect their clients.
+			r.bouncePending(g, leases.L[g].Leader)
+		}
 
 	case MsgRejoin:
 		grants := DecideRejoin(leases, r.cfg.Rank, w.From, w.Epochs, w.Leaders)
@@ -437,25 +514,52 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 			}
 		}
 		stats.RejoinsServed++
+		if !r.cfg.Break {
+			// Merge the prober's store: writes it solo-acked under its old
+			// lease that I never saw. The version-checked apply keeps my
+			// newer writes; Break skips this, which is the deliberate
+			// acked-write-loss the linearizability checker must flag.
+			for g, s := range w.Seqs {
+				if g < len(r.seq) && s > r.seq[g] {
+					r.seq[g] = s
+				}
+			}
+			for _, ent := range w.Snap {
+				stats.Merged++
+				r.apply(r.cfg.Map.ShardOf(ent.Key), ent.Key, ent.Val, ent.Ver)
+			}
+		}
 		r.pushPeer(&Wire{Kind: MsgRejoinOK, Grants: grants,
 			Snap: r.snapshot(), Seqs: append([]uint64(nil), r.seq...)})
 
 	case MsgRejoinOK:
 		for _, gr := range w.Grants {
 			leases.Adopt(gr.Group, gr.Epoch, gr.Leader)
-		}
-		for g, s := range w.Seqs {
-			if g < len(r.seq) && s > r.seq[g] {
-				r.seq[g] = s
+			if leases.L[gr.Group].Leader != r.cfg.Rank {
+				r.bouncePending(gr.Group, leases.L[gr.Group].Leader)
 			}
 		}
-		for _, ent := range w.Snap {
-			r.apply(r.cfg.Map.ShardOf(ent.Key), ent.Key, ent.Val, ent.Ver)
+		if !r.cfg.Break {
+			// The leader's store, pulled on rejoin. Break skips this
+			// direction too: in a symmetric depose each side's RejoinOK
+			// would otherwise carry the other's solo-acked writes and
+			// quietly repair the loss the knob exists to demonstrate.
+			for g, s := range w.Seqs {
+				if g < len(r.seq) && s > r.seq[g] {
+					r.seq[g] = s
+				}
+			}
+			for _, ent := range w.Snap {
+				r.apply(r.cfg.Map.ShardOf(ent.Key), ent.Key, ent.Val, ent.Ver)
+			}
 		}
 		if r.recovering {
 			r.recovering = false
 			stats.Syncs++
 		}
+		// The peer has merged my snapshot (it answered the probe that
+		// carried it): redirecting clients is safe again.
+		r.deposedDirty = false
 
 	case MsgDone:
 		// From carries the reporting client thread's global index here.
@@ -476,6 +580,15 @@ func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time) {
 	shard := r.cfg.Map.ShardOf(w.Key)
 	g := r.cfg.Map.GroupOf(shard)
 	if reply == nil {
+		return
+	}
+	if r.deposedDirty {
+		// Freshly fenced with solo-acked writes not yet merged at the new
+		// leader: answering — even with a redirect — could send this
+		// client to a store missing a write I acknowledged. Drop the op;
+		// the client's RPC timeout retries it, and the rejoin round-trip
+		// clears the stall within a couple of renewal periods.
+		stats.Stalled++
 		return
 	}
 	if r.recovering || leases.L[g].Leader != r.cfg.Rank {
@@ -504,10 +617,11 @@ func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time) {
 		r.pushPeer(&Wire{Kind: MsgReplicate, Group: g, Shard: shard,
 			Key: w.Key, Val: w.Val, Epoch: ver.Epoch, Seq: ver.Seq})
 		r.pending = append(r.pending, pendingRep{group: g, seq: ver.Seq,
-			opid: w.OpID, reply: reply, at: now})
+			epoch: ver.Epoch, opid: w.OpID, reply: reply, at: now})
 		return
 	}
 	stats.SoloAcks++
+	r.recordAck(g, ver.Epoch)
 	r.observeRep(now, now)
 	r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Found: true})
 }

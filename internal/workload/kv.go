@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/check"
 	"repro/internal/dev"
 	"repro/internal/fault"
 	"repro/internal/kern"
@@ -59,6 +60,11 @@ type KVSpec struct {
 	Parallel bool
 	// DebugChecks arms the kernel invariant sweep and the watchdog.
 	DebugChecks bool
+	// Break disables the replicas' rejoin-merge and deposed-stall safety
+	// machinery — the deliberately broken build the linearizability
+	// checker exists to catch. Never set outside tests and machsim's
+	// -breakkv flag.
+	Break bool
 }
 
 // svcTimeouts is the resolved timeout provisioning for a service
@@ -132,6 +138,16 @@ type KVResult struct {
 	Elapsed  machine.Duration
 	Steps    uint64
 	Recovery RecoveryStats
+
+	// History is every caller's recorded operation log, merged in caller
+	// creation order; Check is the linearizability verdict over it and
+	// SplitBrain any (group, epoch) pairs both ranks acked writes under.
+	History    []check.Op
+	Check      check.Result
+	SplitBrain []check.AckKey
+	// Topo is the scheduled topology-fault plan (nil when the spec has
+	// no partition/link/gray rules).
+	Topo *fault.Topology
 }
 
 // ReplicaTotals sums the two replicas' service counters.
@@ -151,6 +167,8 @@ func (r *KVResult) ReplicaTotals() svc.ReplicaStats {
 		t.Gets += s.Gets
 		t.Puts += s.Puts
 		t.Replicated += s.Replicated
+		t.Merged += s.Merged
+		t.Stalled += s.Stalled
 	}
 	return t
 }
@@ -205,6 +223,17 @@ func RunKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) *KVResult {
 	res.Recovery.Failovers = res.Failovers
 	res.Recovery.Salvaged = res.Salvaged
 	res.Recovery.Failed = uint64(res.Failed)
+	for _, c := range clis {
+		res.History = append(res.History, c.History...)
+	}
+	res.Check = check.Linearizable(res.History)
+	logs := make([]map[check.AckKey]uint64, 0, svc.NumRanks)
+	for _, cfg := range res.Replicas {
+		if cfg != nil {
+			logs = append(logs, cfg.AckLog)
+		}
+	}
+	res.SplitBrain = check.SplitBrain(logs)
 	return res
 }
 
@@ -243,8 +272,10 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 	dev.Connect(client1.Links[1].NIC, rank1.Links[1].NIC, spec.Wire)
 	dev.Connect(rank0.Links[2].NIC, rank1.Links[2].NIC, spec.Wire)
 	tmo := provisionTimeouts(arch, spec.RPCTimeout, spec.RenewEvery, spec.IdleExit, spec.DeadAfter)
+	res.Topo = fault.NewTopology(spec.FaultSpec)
 	for i, s := range sys {
 		s.InjectFaults(spec.FaultSeed+uint64(i), spec.FaultSpec)
+		s.InstallTopology(i, res.Topo)
 		for _, n := range s.Links {
 			n.EnableReliable()
 			n.DeadAfter = tmo.deadAfter
@@ -268,6 +299,7 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 			Rank: rank, PeerRank: svc.NumRanks - 1 - rank,
 			Map: smap, PeerLink: 2, Clients: 2 * clientsPer,
 			RenewEvery: tmo.renewEvery, IdleExit: tmo.idleExit,
+			Break: spec.Break,
 		}
 		res.Replicas[rank] = rcfg
 		s.RegisterService("kv-replica", func(s *kern.System) {
@@ -287,8 +319,9 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 				Sys: s, Name: fmt.Sprintf("%s%d", tag, j), ID: id,
 				Map: smap, Links: [svc.NumRanks]int{0, 1},
 				Timeout: tmo.rpcTimeout, HistName: "kv.op",
-				Ops:   kvOps(spec.Seed, id, ops, spec.Keyspan, spec.PutPer10k),
-				Track: true,
+				Ops:    kvOps(spec.Seed, id, ops, spec.Keyspan, spec.PutPer10k),
+				Track:  true,
+				Record: true,
 			}
 			mine[j] = cli
 			clis = append(clis, cli)
@@ -365,15 +398,50 @@ func WriteKVReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *KVRe
 	t := res.ReplicaTotals()
 	fmt.Fprintf(w, "services: %d elections, %d fencing rejections, %d deposed, %d rejoins served, %d syncs\n",
 		t.Elections, t.FencingRejections, t.Deposed, t.RejoinsServed, t.Syncs)
-	fmt.Fprintf(w, "  leader gets %d, puts %d, replicated %d, solo acks %d\n",
-		t.Gets, t.Puts, t.Replicated, t.SoloAcks)
+	fmt.Fprintf(w, "  leader gets %d, puts %d, replicated %d, solo acks %d, merged %d, stalled %d\n",
+		t.Gets, t.Puts, t.Replicated, t.SoloAcks, t.Merged, t.Stalled)
 	fmt.Fprintf(w, "  client redirects %d, failovers %d, ops salvaged %d\n",
 		res.Redirects, res.Failovers, res.Salvaged)
+	fmt.Fprintf(w, "checker: %s; split brain: %s\n", res.Check, splitBrainStr(res.SplitBrain))
 	writeServiceLatency(w, res.Machines, res.Elapsed, []string{"kv.op", "kv.replicate"})
 	for i, sys := range res.Machines {
 		writeMachineSection(w, kvMachineName(i), sys, opt)
 	}
-	if res.Recovery.Crashes > 0 || opt.Failover {
+	if res.Recovery.Crashes > 0 || opt.Failover || res.Topo != nil {
 		writeRecoveryBody(w, res.Recovery, res.Machines)
+		writeNemesisBody(w, res.Topo, res.Machines)
+	}
+}
+
+// splitBrainStr renders the split-brain verdict for the report headline.
+func splitBrainStr(bad []check.AckKey) string {
+	if len(bad) == 0 {
+		return "none"
+	}
+	s := fmt.Sprintf("%d same-epoch double-acks (first: group %d epoch %d)",
+		len(bad), bad[0].Group, bad[0].Epoch)
+	return s
+}
+
+// writeNemesisBody prints the scheduled topology-fault timeline and what
+// each machine's NICs actually enforced — the partition timeline of the
+// recovery section. No-op when the run had no topology schedule.
+func writeNemesisBody(w io.Writer, topo *fault.Topology, machines []*kern.System) {
+	if topo == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nnemesis schedule:\n")
+	for _, line := range topo.Windows() {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	fmt.Fprintf(w, "  enforced at the link plane:\n")
+	for i, sys := range machines {
+		var severed, delayed uint64
+		for _, n := range sys.Links {
+			severed += n.NIC.Severed
+			delayed += n.NIC.LinkDelayed
+		}
+		fmt.Fprintf(w, "    machine %d: %d packets severed, %d link-delayed\n",
+			i, severed, delayed)
 	}
 }

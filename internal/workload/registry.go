@@ -66,6 +66,22 @@ func Registry() []RegisteredWorkload {
 			WriteKVReport(&buf, kern.MK40, machine.ArchDS3100, res, NetRPCReportOptions{})
 			return buf.String()
 		}},
+		{Name: "kv-nemesis", Report: func(parallel bool) string {
+			// The canonical nemesis run: isolate the initial primary past
+			// the membership deadline, then heal. The spec string is the
+			// same grammar machsim's -faults flag takes.
+			spec := DefaultKV()
+			fs, err := fault.ParseSpec("partition=1|0.2.3@60ms+120ms")
+			if err != nil {
+				panic(err)
+			}
+			spec.FaultSpec = fs
+			spec.Parallel = parallel
+			res := RunKV(kern.MK40, machine.ArchDS3100, spec)
+			var buf bytes.Buffer
+			WriteKVReport(&buf, kern.MK40, machine.ArchDS3100, res, NetRPCReportOptions{})
+			return buf.String()
+		}},
 		{Name: "svcgraph", Report: func(parallel bool) string {
 			spec := DefaultSvcGraph()
 			spec.FaultSpec.Crashes = []fault.Crash{{
