@@ -374,6 +374,28 @@ func BenchmarkDispatchTracedVsUntraced(b *testing.B) {
 	b.Run("traced", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkKVSpanOverhead measures the causal-tracing tax on the
+// cross-machine KV workload. "off" head-samples 1-in-2^30: virtually
+// every trace is dropped at the mint site, so zero contexts ride the
+// netmsg headers and no spans are recorded — the cost is the header
+// fields and the zero checks. "on" samples every operation: contexts
+// propagate, every tier records spans, and the report analyzer has a
+// full span store. CI bounds the on/off ns/op ratio (benchjson
+// -max-ratio); the off path must stay indistinguishable from free.
+func BenchmarkKVSpanOverhead(b *testing.B) {
+	run := func(b *testing.B, every int) {
+		spec := workload.DefaultKV()
+		spec.SampleEvery = every
+		var res *workload.KVResult
+		for i := 0; i < b.N; i++ {
+			res = workload.RunKV(kern.MK40, machine.ArchDS3100, spec)
+		}
+		b.ReportMetric(float64(res.Completed), "ops")
+	}
+	b.Run("off", func(b *testing.B) { run(b, 1<<30) })
+	b.Run("on", func(b *testing.B) { run(b, 1) })
+}
+
 // ---------------------------------------------------------------------
 // Message-size sweep: inline copy vs out-of-line COW transfer.
 // ---------------------------------------------------------------------

@@ -4,12 +4,16 @@
 // Usage:
 //
 //	go test -bench ... -benchmem | benchjson [-o out.json] [-zero-allocs name,name]
+//	        [-max-ratio slow,fast,limit]
 //
 // Each benchmark line becomes an object with its name, iteration count
 // and every reported metric (ns/op, B/op, allocs/op, and any custom
 // b.ReportMetric units). -zero-allocs names benchmarks (prefix match, so
 // sub-benchmarks count) that must report 0 allocs/op; a violation fails
-// the run after the JSON is written.
+// the run after the JSON is written. -max-ratio (repeatable) names two
+// benchmarks (prefix match) and a limit: the first's ns/op must stay
+// within limit times the second's — the relative-overhead gate for
+// feature-on vs feature-off benchmark pairs.
 package main
 
 import (
@@ -28,9 +32,30 @@ type benchResult struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// ratioGate is one parsed -max-ratio rule: slow's ns/op must stay
+// within limit times fast's.
+type ratioGate struct {
+	slow, fast string
+	limit      float64
+}
+
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	zero := flag.String("zero-allocs", "", "comma-separated benchmark name prefixes that must report 0 allocs/op")
+	var ratios []ratioGate
+	flag.Func("max-ratio", "slow,fast,limit: benchmark slow's ns/op must stay within limit times fast's (prefix match, repeatable)",
+		func(val string) error {
+			parts := strings.Split(val, ",")
+			if len(parts) != 3 {
+				return fmt.Errorf("max-ratio %q: want slow,fast,limit", val)
+			}
+			limit, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || limit <= 0 {
+				return fmt.Errorf("max-ratio %q: bad limit", val)
+			}
+			ratios = append(ratios, ratioGate{slow: parts[0], fast: parts[1], limit: limit})
+			return nil
+		})
 	flag.Parse()
 
 	var results []benchResult
@@ -97,6 +122,37 @@ func main() {
 			}
 			if !matched {
 				fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches %q\n", prefix)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+
+	if len(ratios) > 0 {
+		// nsOp finds the first matching benchmark's ns/op by prefix.
+		nsOp := func(prefix string) (float64, bool) {
+			for _, r := range results {
+				if strings.HasPrefix(r.Name, prefix) {
+					v, ok := r.Metrics["ns/op"]
+					return v, ok
+				}
+			}
+			return 0, false
+		}
+		failed := false
+		for _, g := range ratios {
+			slow, okS := nsOp(g.slow)
+			fast, okF := nsOp(g.fast)
+			if !okS || !okF {
+				fmt.Fprintf(os.Stderr, "benchjson: max-ratio %s,%s: benchmark missing\n", g.slow, g.fast)
+				failed = true
+				continue
+			}
+			if fast > 0 && slow > g.limit*fast {
+				fmt.Fprintf(os.Stderr, "benchjson: %s is %.2fx %s (budget %.2fx)\n",
+					g.slow, slow/fast, g.fast, g.limit)
 				failed = true
 			}
 		}

@@ -11,7 +11,7 @@
 //	        [-pairs n] [-clients n] [-parallel] [-failover]
 //	        [-faults seed:spec] [-crash M@T[:reboot+N]]
 //	        [-fuzz seed:count] [-fuzzout dir] [-breakkv]
-//	        [-check] [-trace out.json] [-profile]
+//	        [-check] [-trace out.json] [-profile] [-sample 1/N]
 //
 // Workloads:
 //
@@ -84,6 +84,18 @@
 // cmd/traceview). -profile prints the per-continuation profile and the
 // latency histograms after the run. Both are deterministic: the same
 // flags and seed produce byte-identical traces and reports.
+//
+// The kv and svcgraph workloads additionally run causal tracing: every
+// client operation mints a deterministic trace context that rides the
+// netmsg header across machines, and each tier records spans (queue,
+// service, wire, retry, election) into its machine's recorder. The
+// report ends with a critical-path attribution table — per-segment
+// p50/p99 over the sampled operations plus the slowest ops decomposed
+// so each op's segment sum equals its measured round-trip. -sample 1/N
+// head-samples the traces (keep the 1-in-N hash class of trace ids;
+// default 1/1 keeps all). Exported spans appear in the -trace file as
+// "X" events with cross-machine flow arrows; summarize them with
+// traceview -spans.
 package main
 
 import (
@@ -118,6 +130,10 @@ var (
 	fuzzFlag     = flag.String("fuzz", "", "kv: fuzz nemesis schedules, seed:count (e.g. 7:25)")
 	fuzzOut      = flag.String("fuzzout", "", "kv fuzz: directory receiving one history dump per schedule")
 	breakKV      = flag.Bool("breakkv", false, "kv: run the deliberately broken replicas (checker must flag them)")
+	sampleFlag   = flag.String("sample", "", "kv/svcgraph: head-sample 1/N of operation traces (default 1/1, keep all)")
+
+	// sampleEvery is the parsed -sample denominator (1 = keep everything).
+	sampleEvery = 1
 
 	// crashFlags collects the repeatable -crash flag's raw values; each is
 	// sugar for a crash=… rule in the -faults spec. The machine part may
@@ -207,6 +223,15 @@ func main() {
 		}
 	}
 
+	if *sampleFlag != "" {
+		n, err := obs.ParseSample(*sampleFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sampleEvery = n
+	}
+
 	faultSpec.Crashes = append(faultSpec.Crashes, resolveCrashes(*workloadName)...)
 
 	if *fuzzFlag != "" {
@@ -272,6 +297,9 @@ func main() {
 
 	fmt.Printf("\nkernel stacks: %.3f average in use, %d worst case, %d threads live\n",
 		sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse(), sys.K.LiveThreads())
+	mc := sys.MemoryCensus()
+	fmt.Printf("memory census: %d stacks high-water vs %d blocked threads high-water\n",
+		mc.StackHighWater, mc.BlockedHighWater)
 	fmt.Printf("per-thread kernel memory now: %.0f bytes (static %v: %d bytes)\n",
 		sys.MeasuredPerThreadBytes(), flavor, flavor.StaticThreadSpace().Total())
 
@@ -300,6 +328,9 @@ func main() {
 		fmt.Printf("  user time             %12.0f ms\n", float64(sys.K.UserTime)/1e6)
 	}
 
+	if rec != nil {
+		rec.Census = sys.MemoryCensus()
+	}
 	emitObservations(rec)
 }
 
@@ -409,6 +440,7 @@ func runKV(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fa
 	spec.Parallel = *parallel
 	spec.DebugChecks = *check
 	spec.Break = *breakKV
+	spec.SampleEvery = sampleEvery
 	res := workload.RunKV(flavor, arch, spec)
 
 	workload.WriteKVReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
@@ -430,6 +462,7 @@ func runSvcGraph(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultS
 	}
 	spec.Parallel = *parallel
 	spec.DebugChecks = *check
+	spec.SampleEvery = sampleEvery
 	res := workload.RunSvcGraph(flavor, arch, spec)
 
 	workload.WriteSvcGraphReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{

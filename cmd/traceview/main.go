@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	traceview trace.json
+//	traceview [-spans] trace.json
+//
+// -spans switches to the causal-trace view: per-machine span counts,
+// the critical-path attribution table (per-segment p50/p99 over the
+// sampled operations, plus the slowest ops decomposed segment by
+// segment), and the memory census the exporter stamped into the trace
+// metadata.
 //
 // The output is deterministic: the same trace file always produces the
 // same summary. The full event stream is still in the JSON for Perfetto
@@ -13,25 +19,38 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/obs"
 )
 
+var spansMode = flag.Bool("spans", false, "summarize causal spans: critical-path attribution and memory census")
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: traceview trace.json")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-spans] trace.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	out, err := obs.Summarize(data)
+	summarize := obs.Summarize
+	if *spansMode {
+		summarize = obs.SummarizeSpans
+	}
+	out, err := summarize(data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "traceview: %s: %v\n", os.Args[1], err)
+		fmt.Fprintf(os.Stderr, "traceview: %s: %v\n", path, err)
 		os.Exit(1)
 	}
 	fmt.Print(out)

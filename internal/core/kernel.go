@@ -164,6 +164,11 @@ type Kernel struct {
 	// Threads is the registry of all created threads, live and halted.
 	Threads []*Thread
 
+	// BlockedHighWater is the most threads ever simultaneously blocked
+	// (StateWaiting), sampled at each completed block — the denominator
+	// of the paper's space claim, read against Stacks.MaxInUse().
+	BlockedHighWater int
+
 	// HandleFault services a user-level page fault (set by the VM
 	// substrate). write distinguishes store faults, which must resolve
 	// copy-on-write sharing. It must end in a terminal operation.
@@ -818,6 +823,20 @@ func (k *Kernel) recordBlock(t *Thread, reason stats.BlockReason, discarded bool
 			yield = 1
 		}
 		r.EmitArg(obs.ThreadBlocked, t.ID, t.Name, cn, reason.String(), yield)
+	}
+	// Sample the blocked-thread census at its only growth point: the
+	// count can rise exactly when a block completes. A linear scan of
+	// the registry keeps the counter exact with no per-transition
+	// bookkeeping (wakeups are scattered across substrates) and no
+	// allocation on the dispatch path.
+	blocked := 0
+	for _, th := range k.Threads {
+		if th.State == StateWaiting {
+			blocked++
+		}
+	}
+	if blocked > k.BlockedHighWater {
+		k.BlockedHighWater = blocked
 	}
 	if t.NoStats {
 		return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // ThreadState is the scheduling state of a kernel thread.
@@ -143,6 +144,12 @@ type Thread struct {
 
 	// WaitLabel describes what the thread is blocked on, for diagnostics.
 	WaitLabel string
+
+	// Trace is the causal-trace context the thread currently acts under:
+	// stamped onto messages it sends (when they carry none) and adopted
+	// from messages it receives, so one operation's context follows the
+	// control transfers that serve it. The zero context means untraced.
+	Trace obs.TraceContext
 
 	// queued tracks run-queue membership so that a thread woken by an
 	// event while its post-block disposal is still pending is not queued

@@ -68,6 +68,17 @@ type Packet struct {
 	// payload and is consumed by the receiving netmsg thread's membership
 	// bookkeeping instead of being delivered to a port.
 	Heartbeat bool
+
+	// Trace is the forwarded message's causal-trace context, part of the
+	// netmsg framing: the receiver re-stamps it onto the reconstructed
+	// message and records the flight as a wire span. SentAt is the
+	// sender's transmit time (cluster clocks share one timeline), set
+	// once at first transmission so a retransmitted packet's wire span
+	// covers the whole loss-and-backoff window. Both are immutable after
+	// first transmit — a retransmitted *Packet is shared with the
+	// receiving machine.
+	Trace  obs.TraceContext
+	SentAt machine.Time
 }
 
 // ackBytes is the wire size of a bare acknowledgement packet.
@@ -512,6 +523,8 @@ func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts 
 		Body:      msg.Body,
 		SrcInc:    n.Inc,
 		DstInc:    n.peerInc,
+		Trace:     msg.Trace,
+		SentAt:    n.Sub.K.Clock.Now(),
 	}
 	// DstInc is stamped once, here: if the peer crashes and reboots while
 	// this packet is retransmitting, every retransmission still targets
@@ -702,6 +715,17 @@ func (n *Netmsg) loop(e *core.Env) {
 				}
 			} else {
 				n.Retransmits++
+				if r := n.Sub.K.Obs; r != nil && pkt.Trace.Sampled() {
+					// The backoff window up to this retransmission is
+					// recovery overhead, annotated on the sender (the
+					// shared packet is not touched).
+					r.RecordSpan(obs.Span{
+						Trace: pkt.Trace.Trace, ID: r.NextSpanID(pkt.Trace.Trace),
+						Parent: pkt.Trace.Span, Name: "net.rexmit",
+						Seg: obs.SegRetry, TID: e.Cur().ID, Detail: n.NIC.Name,
+						Start: pkt.SentAt, End: n.Sub.K.Clock.Now(),
+					})
+				}
 			}
 			n.NIC.Transmit(e, pkt)
 		}
@@ -772,6 +796,18 @@ func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
 		reply = n.ProxyFor(pkt.ReplyPort)
 	}
 	msg := n.X.NewMessage(pkt.OpID, pkt.Size, pkt.Body, reply)
+	msg.Trace = pkt.Trace
+	if r := k.Obs; r != nil && pkt.Trace.Sampled() {
+		// The flight, recorded retroactively on arrival: transmit time
+		// traveled in the framing, both clocks share the cluster
+		// timeline, so the receiver knows the whole interval.
+		r.RecordSpan(obs.Span{
+			Trace: pkt.Trace.Trace, ID: r.NextSpanID(pkt.Trace.Trace),
+			Parent: pkt.Trace.Span, Name: "net.wire",
+			Seg: obs.SegWire, TID: e.Cur().ID, Detail: n.NIC.Name,
+			Start: pkt.SentAt, End: k.Clock.Now(),
+		})
+	}
 	n.Delivered++
 	recv := n.X.PopWaiter(e, port)
 	if recv != nil && recv.Cont != nil && !recv.HasStack() && k.CanHandoff() {

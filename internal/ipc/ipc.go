@@ -107,6 +107,12 @@ type Message struct {
 	// receiver (Mach's large-message path). Cheaper for large bodies,
 	// dearer for small ones.
 	OOL bool
+
+	// Trace is the causal-trace context the message carries: stamped
+	// from the sending thread when the sender left it zero, adopted by
+	// the receiving thread on copy-out. Part of the header, so it
+	// crosses machines inside the netmsg framing too.
+	Trace obs.TraceContext
 }
 
 // Port is a Mach port: a protected message queue with at most one
@@ -400,6 +406,11 @@ func (x *IPC) FreeMessage(m *Message) {
 func (x *IPC) Received(t *core.Thread) *Message {
 	m := x.received[t.ID]
 	delete(x.received, t.ID)
+	if m != nil {
+		// The receiver acts on the message's behalf from here on: adopt
+		// its trace context (zero clears any stale one).
+		t.Trace = m.Trace
+	}
 	return m
 }
 
@@ -596,6 +607,9 @@ func (x *IPC) send(e *core.Env, opts MsgOptions, src source) {
 		panic("ipc: send without a destination port")
 	}
 	msg.Sender = t
+	if msg.Trace == (obs.TraceContext{}) {
+		msg.Trace = t.Trace
+	}
 	e.Charge(transferCost(msg)) // copyin or out-of-line map
 	if k.Obs != nil {
 		e.Trace(obs.CopyIn, strconv.Itoa(msg.Size)+" bytes")

@@ -509,6 +509,18 @@ func (s *System) EnableObservation(capacity int) *obs.Recorder {
 	return r
 }
 
+// MemoryCensus snapshots the machine's space claim: kernel-stack
+// high-water against the worst simultaneous blocked-thread count — the
+// paper's continuation dividend read as a single pair — plus the live
+// thread population for scale.
+func (s *System) MemoryCensus() obs.Census {
+	return obs.Census{
+		StackHighWater:   s.K.Stacks.MaxInUse(),
+		BlockedHighWater: s.K.BlockedHighWater,
+		LiveThreads:      s.K.LiveThreads(),
+	}
+}
+
 // Run drives the machine to quiescence or the deadline.
 func (s *System) Run(deadline machine.Time) uint64 { return s.K.Run(deadline) }
 

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestCritPathExactSum is the analyzer's core contract: for every
+// decomposed operation, the per-segment durations sum to exactly the
+// root span's measured extent — no double counting across overlapping
+// children, no uncovered residue.
+func TestCritPathExactSum(t *testing.T) {
+	mk := func(trace, id, parent uint64, seg Seg, start, end machine.Time) Span {
+		return Span{Trace: trace, ID: id, Parent: parent, Name: "op", Seg: seg,
+			Start: start, End: end}
+	}
+	// Trace 1: overlapping children at mixed depths. Root [0,100); a
+	// service child [10,60) with a wire grandchild [20,50) that itself
+	// overlaps a retry child [40,80).
+	// Trace 2: root only — pure queue.
+	// Trace 3: child extends beyond the root; attribution clamps.
+	spans := []Span{
+		mk(1, 10, 0, SegQueue, 0, 100),
+		mk(1, 11, 10, SegService, 10, 60),
+		mk(1, 12, 11, SegWire, 20, 50),
+		mk(1, 13, 10, SegRetry, 40, 80),
+		mk(2, 20, 0, SegQueue, 200, 230),
+		mk(3, 30, 0, SegQueue, 300, 340),
+		mk(3, 31, 30, SegService, 320, 400),
+	}
+	cp := AnalyzeCritPath(spans)
+	if len(cp.Ops) != 3 {
+		t.Fatalf("decomposed %d ops, want 3", len(cp.Ops))
+	}
+	for _, op := range cp.Ops {
+		var sum machine.Duration
+		for _, d := range op.Seg {
+			sum += d
+		}
+		if sum != op.Total || op.Total != machine.Duration(op.End-op.Start) {
+			t.Fatalf("trace %d: segments sum %d != total %d (extent %d)",
+				op.Trace, sum, op.Total, op.End-op.Start)
+		}
+	}
+
+	// Trace 1 in detail. [0,10) root queue; [10,20) service; [20,50)
+	// wire (deepest); [40,50) the retry overlaps the wire grandchild,
+	// but the grandchild is deeper and keeps it; [50,60) service vs
+	// retry at equal depth — SegRetry outranks SegService; [60,80)
+	// retry alone; [80,100) root queue.
+	op := cp.Ops[0]
+	want := [NumSegs]machine.Duration{
+		SegQueue:   10 + 20,
+		SegService: 10,
+		SegWire:    30,
+		SegRetry:   10 + 20,
+	}
+	if op.Seg != want {
+		t.Fatalf("trace 1 decomposition = %v, want %v", op.Seg, want)
+	}
+
+	// Trace 2: everything is root queue.
+	if op := cp.Ops[1]; op.Seg[SegQueue] != 30 || op.Total != 30 {
+		t.Fatalf("trace 2 decomposition = %v", op.Seg)
+	}
+
+	// Trace 3: the child's overhang past root.End is clamped away.
+	if op := cp.Ops[2]; op.Seg[SegQueue] != 20 || op.Seg[SegService] != 20 {
+		t.Fatalf("trace 3 decomposition = %v", op.Seg)
+	}
+}
+
+// TestCritPathArbitration pins the tie-breaks: depth beats segment
+// priority, and at equal depth the Seg order (election > retry > wire >
+// service > queue) decides.
+func TestCritPathArbitration(t *testing.T) {
+	spans := []Span{
+		{Trace: 5, ID: 1, Parent: 0, Seg: SegQueue, Start: 0, End: 40},
+		// Equal-depth children covering the same interval: election wins.
+		{Trace: 5, ID: 2, Parent: 1, Seg: SegWire, Start: 0, End: 40},
+		{Trace: 5, ID: 3, Parent: 1, Seg: SegElection, Start: 0, End: 40},
+		// A deeper service child under the wire span wins over both on
+		// [10, 20) despite its lower segment priority.
+		{Trace: 5, ID: 4, Parent: 2, Seg: SegService, Start: 10, End: 20},
+	}
+	cp := AnalyzeCritPath(spans)
+	if len(cp.Ops) != 1 {
+		t.Fatalf("decomposed %d ops, want 1", len(cp.Ops))
+	}
+	op := cp.Ops[0]
+	if op.Seg[SegService] != 10 || op.Seg[SegElection] != 30 {
+		t.Fatalf("arbitration = %v, want service 10, election 30", op.Seg)
+	}
+}
+
+// TestCritPathOrphansAndRootless checks resilience: spans whose parent
+// never got recorded hang off the root and still attribute; traces with
+// no root at all (the frontend's recorder crashed) are skipped.
+func TestCritPathOrphansAndRootless(t *testing.T) {
+	spans := []Span{
+		{Trace: 7, ID: 1, Parent: 0, Seg: SegQueue, Start: 0, End: 50},
+		// Parent id 99 was never recorded.
+		{Trace: 7, ID: 2, Parent: 99, Seg: SegWire, Start: 10, End: 30},
+		// Rootless trace: every span has a parent pointer.
+		{Trace: 8, ID: 3, Parent: 77, Seg: SegService, Start: 0, End: 10},
+	}
+	cp := AnalyzeCritPath(spans)
+	if len(cp.Ops) != 1 {
+		t.Fatalf("decomposed %d ops, want 1 (rootless trace must be skipped)", len(cp.Ops))
+	}
+	op := cp.Ops[0]
+	if op.Seg[SegWire] != 20 || op.Seg[SegQueue] != 30 {
+		t.Fatalf("orphan attribution = %v", op.Seg)
+	}
+}
+
+// TestCritPathSlowest checks the worst-first listing and its bound.
+func TestCritPathSlowest(t *testing.T) {
+	var spans []Span
+	for i := uint64(1); i <= 8; i++ {
+		spans = append(spans, Span{Trace: i, ID: i * 100, Parent: 0,
+			Seg: SegQueue, Start: 0, End: machine.Time(i * 10)})
+	}
+	cp := AnalyzeCritPath(spans)
+	if len(cp.Slowest) != SlowestN {
+		t.Fatalf("kept %d slowest, want %d", len(cp.Slowest), SlowestN)
+	}
+	for i := 1; i < len(cp.Slowest); i++ {
+		if cp.Slowest[i].Total > cp.Slowest[i-1].Total {
+			t.Fatal("slowest ops not sorted worst first")
+		}
+	}
+	if cp.Slowest[0].Total != 80 {
+		t.Fatalf("worst op total %d, want 80", cp.Slowest[0].Total)
+	}
+}
+
+// TestWriteCritPath smoke-checks the renderer, including the empty case
+// and the exact-nanosecond sum line.
+func TestWriteCritPath(t *testing.T) {
+	var b strings.Builder
+	WriteCritPath(&b, AnalyzeCritPath(nil))
+	if !strings.Contains(b.String(), "no sampled operations") {
+		t.Fatalf("empty render = %q", b.String())
+	}
+	b.Reset()
+	spans := []Span{
+		{Trace: 3, ID: 1, Parent: 0, Name: "kv.op", Seg: SegQueue, Start: 0, End: 100},
+		{Trace: 3, ID: 2, Parent: 1, Seg: SegWire, Start: 25, End: 75},
+	}
+	WriteCritPath(&b, AnalyzeCritPath(spans))
+	out := b.String()
+	for _, want := range []string{
+		"critical-path attribution (1 sampled ops):",
+		"segment", "queue", "wire", "slowest ops:",
+		"total 100ns =", "queue 50ns", "wire 50ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/machine"
 )
@@ -106,10 +107,113 @@ func WriteChrome(w io.Writer, recs ...*Recorder) error {
 		line.WriteString("}}")
 		emit(line.Bytes())
 	}
-	fmt.Fprintf(&b, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"machsim\",\"machines\":%d}}\n",
-		len(recs))
+	writeChromeSpans(&b, emit, recs)
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"machsim\"")
+	fmt.Fprintf(&b, ",\"machines\":%d", len(recs))
+	writeChromeCensus(&b, recs)
+	b.WriteString("}}\n")
 	_, err := w.Write(b.Bytes())
 	return err
+}
+
+// writeChromeSpans emits the recorded causal spans as complete events
+// ("ph":"X") plus flow arrows ("s"/"f" pairs) connecting every span to a
+// parent that lives on a different machine — the cross-machine hops of
+// one traced operation render as arrows in Perfetto. Ids larger than
+// 2^53 do not survive JSON numbers, so trace/span/parent ids are encoded
+// as fixed-width hex strings.
+func writeChromeSpans(b *bytes.Buffer, emit func([]byte), recs []*Recorder) {
+	type pidSpan struct {
+		pid int
+		sp  Span
+	}
+	var all []pidSpan
+	byID := make(map[uint64]pidSpan)
+	for pid, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, sp := range r.Spans() {
+			ps := pidSpan{pid, sp}
+			all = append(all, ps)
+			if _, ok := byID[sp.ID]; !ok {
+				byID[sp.ID] = ps
+			}
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.sp.Start != b.sp.Start {
+			return a.sp.Start < b.sp.Start
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.sp.ID < b.sp.ID
+	})
+	for _, ps := range all {
+		sp := ps.sp
+		var line bytes.Buffer
+		fmt.Fprintf(&line,
+			`{"name":%s,"cat":"span","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,`+
+				`"args":{"trace":"%016x","span":"%016x","parent":"%016x","seg":%s,"ns":%d,"durns":%d`,
+			jsonString(sp.Name), ps.pid, sp.TID, microTS(sp.Start),
+			microTS(machine.Time(sp.Duration())), sp.Trace, sp.ID, sp.Parent,
+			jsonString(sp.Seg.String()), uint64(sp.Start), uint64(sp.Duration()))
+		if sp.Detail != "" {
+			fmt.Fprintf(&line, `,"detail":%s`, jsonString(sp.Detail))
+		}
+		line.WriteString("}}")
+		emit(line.Bytes())
+		if sp.Parent == 0 {
+			continue
+		}
+		par, ok := byID[sp.Parent]
+		if !ok || par.pid == ps.pid {
+			continue
+		}
+		start := fmt.Sprintf(
+			`{"name":"causal","cat":"span","ph":"s","id":"%016x","pid":%d,"tid":%d,"ts":%s}`,
+			sp.ID, par.pid, par.sp.TID, microTS(par.sp.Start))
+		finish := fmt.Sprintf(
+			`{"name":"causal","cat":"span","ph":"f","bp":"e","id":"%016x","pid":%d,"tid":%d,"ts":%s}`,
+			sp.ID, ps.pid, sp.TID, microTS(sp.Start))
+		emit([]byte(start))
+		emit([]byte(finish))
+	}
+}
+
+// writeChromeCensus appends the per-machine memory census to otherData
+// when any recorder carries one; traces exported without a census keep
+// their historical byte shape.
+func writeChromeCensus(b *bytes.Buffer, recs []*Recorder) {
+	any := false
+	for _, r := range recs {
+		if r != nil && !r.Census.Zero() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString(",\"census\":[")
+	first := true
+	for pid, r := range recs {
+		if r == nil || r.Census.Zero() {
+			continue
+		}
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(b, `{"machine":%d,"stacks_hw":%d,"blocked_hw":%d,"threads":%d}`,
+			pid, r.Census.StackHighWater, r.Census.BlockedHighWater, r.Census.LiveThreads)
+	}
+	b.WriteString("]")
 }
 
 // microTS renders a nanosecond clock reading as the microsecond
@@ -135,12 +239,15 @@ func jsonString(s string) string {
 type MachineEvents struct {
 	PID    int
 	Events []Event
+	// Spans holds the machine's exported causal spans, in export order.
+	Spans []Span
 	// ThreadNames maps tid to the exported thread_name metadata.
 	ThreadNames map[int]string
 }
 
 type chromeEvent struct {
 	Name string `json:"name"`
+	Cat  string `json:"cat"`
 	Ph   string `json:"ph"`
 	PID  int    `json:"pid"`
 	TID  int    `json:"tid"`
@@ -152,6 +259,13 @@ type chromeEvent struct {
 		Thread string `json:"thread"`
 		Cont   string `json:"cont"`
 		Detail string `json:"detail"`
+		// Span payload ("cat":"span","ph":"X"): hex-encoded ids plus
+		// exact nanosecond endpoints.
+		Trace  string `json:"trace"`
+		Span   string `json:"span"`
+		Parent string `json:"parent"`
+		Seg    string `json:"seg"`
+		DurNS  uint64 `json:"durns"`
 	} `json:"args"`
 }
 
@@ -185,6 +299,17 @@ func ReadChrome(data []byte) ([]*MachineEvents, error) {
 			}
 			continue
 		}
+		if ce.Cat == "span" {
+			if ce.Ph != "X" {
+				continue // flow arrows carry no extra payload
+			}
+			sp, err := spanFromChrome(ce)
+			if err != nil {
+				return nil, err
+			}
+			m.Spans = append(m.Spans, sp)
+			continue
+		}
 		kind, ok := KindFromString(ce.Name)
 		if !ok {
 			continue
@@ -211,6 +336,86 @@ func ReadChrome(data []byte) ([]*MachineEvents, error) {
 		out = append(out, m)
 	}
 	return out, nil
+}
+
+// spanFromChrome decodes one exported span event.
+func spanFromChrome(ce chromeEvent) (Span, error) {
+	tr, err := strconv.ParseUint(ce.Args.Trace, 16, 64)
+	if err != nil {
+		return Span{}, fmt.Errorf("obs: span %q: bad trace id %q", ce.Name, ce.Args.Trace)
+	}
+	id, err := strconv.ParseUint(ce.Args.Span, 16, 64)
+	if err != nil {
+		return Span{}, fmt.Errorf("obs: span %q: bad span id %q", ce.Name, ce.Args.Span)
+	}
+	par, err := strconv.ParseUint(ce.Args.Parent, 16, 64)
+	if err != nil {
+		return Span{}, fmt.Errorf("obs: span %q: bad parent id %q", ce.Name, ce.Args.Parent)
+	}
+	seg, ok := SegFromString(ce.Args.Seg)
+	if !ok {
+		return Span{}, fmt.Errorf("obs: span %q: unknown segment %q", ce.Name, ce.Args.Seg)
+	}
+	return Span{
+		Trace:  tr,
+		ID:     id,
+		Parent: par,
+		Name:   ce.Name,
+		Seg:    seg,
+		TID:    ce.TID,
+		Detail: ce.Args.Detail,
+		Start:  machine.Time(ce.Args.NS),
+		End:    machine.Time(ce.Args.NS + ce.Args.DurNS),
+	}, nil
+}
+
+// SummarizeSpans ingests a Chrome trace exported by WriteChrome and
+// returns the spanview report: span counts per machine, the
+// critical-path attribution table recomputed from the exported spans,
+// and the memory census when the export carries one.
+func SummarizeSpans(data []byte) (string, error) {
+	machines, err := ReadChrome(data)
+	if err != nil {
+		return "", err
+	}
+	var all []Span
+	var b bytes.Buffer
+	total := 0
+	for _, m := range machines {
+		total += len(m.Spans)
+		all = append(all, m.Spans...)
+	}
+	fmt.Fprintf(&b, "spans: %d machine(s), %d spans\n", len(machines), total)
+	for _, m := range machines {
+		fmt.Fprintf(&b, "  machine %d: %d spans\n", m.PID, len(m.Spans))
+	}
+	b.WriteString("\n")
+	WriteCritPath(&b, AnalyzeCritPath(all))
+	writeCensusSection(&b, data)
+	return b.String(), nil
+}
+
+// writeCensusSection echoes the exported per-machine memory census, when
+// present.
+func writeCensusSection(b *bytes.Buffer, data []byte) {
+	var doc struct {
+		OtherData struct {
+			Census []struct {
+				Machine   int `json:"machine"`
+				StacksHW  int `json:"stacks_hw"`
+				BlockedHW int `json:"blocked_hw"`
+				Threads   int `json:"threads"`
+			} `json:"census"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.OtherData.Census) == 0 {
+		return
+	}
+	b.WriteString("\nmemory census:\n")
+	for _, c := range doc.OtherData.Census {
+		fmt.Fprintf(b, "  machine %d: %d kernel stacks high-water for %d blocked threads high-water (%d live threads)\n",
+			c.Machine, c.StacksHW, c.BlockedHW, c.Threads)
+	}
 }
 
 // Summarize ingests a Chrome trace exported by WriteChrome and returns

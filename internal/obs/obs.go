@@ -359,7 +359,33 @@ type Recorder struct {
 	runnableAt tidTimes
 	stackSince tidTimes
 	rpcStart   tidTimes
+
+	// Span store (span.go): completed causal-trace spans, the machine
+	// index salting span ids, the span-id mint serial, and the 1-in-N
+	// head-sampling rate (0 and 1 both mean "keep everything").
+	spans       []Span
+	host        int
+	spanSalt    uint64
+	sampleEvery uint64
+
+	// Census is the machine's memory census (stack-pool high-water vs.
+	// blocked threads), stamped by the workload driver before export so
+	// the Chrome metadata carries it.
+	Census Census
 }
+
+// Census is the paper's space claim as a per-machine measurement: how
+// many kernel stacks the machine ever needed against how many threads
+// were simultaneously blocked (a process-model kernel would need one
+// stack per blocked thread).
+type Census struct {
+	StackHighWater   int
+	BlockedHighWater int
+	LiveThreads      int
+}
+
+// Zero reports whether the census was never stamped.
+func (c Census) Zero() bool { return c == Census{} }
 
 // tidTimes maps a small thread id to the opening timestamp of a latency
 // interval. Values are stored as time+1 so the zero value means absent.
@@ -626,6 +652,9 @@ func (r *Recorder) Reset() {
 	r.runnableAt = nil
 	r.stackSince = nil
 	r.rpcStart = nil
+	r.spans = nil
+	r.spanSalt = 0
+	r.Census = Census{}
 }
 
 // Histogram counts values into power-of-two buckets of simulated clock

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // CachePortName is the wire name the cache tier exports.
@@ -144,6 +145,8 @@ type cacheWorker struct {
 
 	cur      *Wire
 	curReply *ipc.Port
+	curCtx   obs.TraceContext
+	curAt    machine.Time
 	pend     *outbound
 	inKV     bool
 	finished bool
@@ -162,7 +165,18 @@ func (w *cacheWorker) Next(e *core.Env, t *core.Thread) core.Action {
 		w.replyAct = core.Syscall("mach_msg(cache-reply)", func(e *core.Env) {
 			p := w.pend
 			w.pend = nil
+			if rec := w.sys.K.Obs; rec != nil && p.trace.Sampled() {
+				// This tier's dwell on the request, hit or post-fetch.
+				rec.RecordSpan(obs.Span{
+					Trace: p.trace.Trace, ID: rec.NextSpanID(p.trace.Trace),
+					Parent: p.trace.Span, Name: "cache.serve",
+					Seg: obs.SegService, TID: e.Cur().ID,
+					Start: p.at, End: w.sys.K.Clock.Now(),
+				})
+			}
 			msg := w.sys.IPC.NewMessage(p.opid, wireBytes(p.w), p.w, nil)
+			msg.Trace = p.trace
+			e.Cur().Trace = p.trace
 			w.sys.IPC.MachMsg(e, ipc.MsgOptions{
 				Send: msg, SendTo: p.to,
 				ReceiveFrom: w.port, RcvTimeout: w.cfg.tick(),
@@ -210,11 +224,13 @@ func (w *cacheWorker) Next(e *core.Env, t *core.Thread) core.Action {
 func (w *cacheWorker) handle(m *ipc.Message) {
 	req, ok := m.Body.(*Wire)
 	reply := m.Reply
+	ctx := m.Trace
 	w.sys.IPC.FreeMessage(m)
 	if !ok {
 		return
 	}
-	w.sh.lastActivity = w.sys.K.Clock.Now()
+	now := w.sys.K.Clock.Now()
+	w.sh.lastActivity = now
 	switch req.Kind {
 	case MsgDone:
 		idx := req.From
@@ -236,7 +252,8 @@ func (w *cacheWorker) handle(m *ipc.Message) {
 				w.cfg.Stats.Hits++
 				w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit,
 					w: &Wire{Kind: MsgCacheReply, OpID: req.OpID,
-						Key: req.Key, Val: val, Found: true}}
+						Key: req.Key, Val: val, Found: true},
+					trace: ctx, at: now}
 				return
 			}
 			w.cfg.Stats.Misses++
@@ -245,15 +262,21 @@ func (w *cacheWorker) handle(m *ipc.Message) {
 		}
 		w.cur = req
 		w.curReply = reply
+		w.curCtx = ctx
+		w.curAt = now
 		w.inKV = true
+		// The backend fetch continues the frontend's trace: the embedded
+		// caller's operation becomes a child span of this request.
+		w.kv.Ctx = ctx
 		w.kv.StartOp(KVOp{Op: req.Op, Key: req.Key, Val: req.Val})
 	}
 }
 
 // finishKV answers the frontend once the backend operation resolved.
 func (w *cacheWorker) finishKV() {
-	req, reply := w.cur, w.curReply
-	w.cur, w.curReply = nil, nil
+	req, reply, ctx := w.cur, w.curReply, w.curCtx
+	w.cur, w.curReply, w.curCtx = nil, nil, obs.TraceContext{}
+	w.kv.Ctx = obs.TraceContext{}
 	out := &Wire{Kind: MsgCacheReply, OpID: req.OpID, Key: req.Key}
 	if req.Op == OpGet {
 		if w.kv.LastOK && w.kv.LastFound {
@@ -266,5 +289,6 @@ func (w *cacheWorker) finishKV() {
 			w.sh.install(w.cfg, req.Key, req.Val)
 		}
 	}
-	w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit, w: out}
+	w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit, w: out,
+		trace: ctx, at: w.sys.K.Clock.Now()}
 }

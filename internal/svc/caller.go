@@ -98,6 +98,12 @@ type Caller struct {
 	// notebook, not server state.
 	History []check.Op
 
+	// Ctx, when sampled, is the causal-trace context the next operation
+	// runs under: the operation becomes a child span of Ctx.Span instead
+	// of a new trace root. The cache tier sets it per fetch so a
+	// frontend's trace follows the miss path down to the KV group.
+	Ctx obs.TraceContext
+
 	// Last* report the most recently completed one-shot operation.
 	LastOK    bool
 	LastFound bool
@@ -113,6 +119,14 @@ type Caller struct {
 	waiting  bool
 	started  machine.Time
 	acked    map[uint64]uint64
+
+	// trace is the in-flight operation's span context (zero when the op
+	// is unsampled); opSerial numbers every operation this caller ever
+	// started (one-shot callers reuse idx 0, so idx cannot mint ids);
+	// attemptAt stamps the current attempt's send for retry spans.
+	trace     obs.TraceContext
+	opSerial  uint64
+	attemptAt machine.Time
 
 	sendAct  core.Action
 	drainAct core.Action
@@ -205,6 +219,10 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 		c.sendAct = core.Syscall("mach_msg(kv-call)", func(e *core.Env) {
 			w := c.buildWire()
 			msg := c.Sys.IPC.NewMessage(c.opid, wireBytes(w), w, c.reply)
+			// Stamp both the message and the thread explicitly: the
+			// thread may still carry the previous operation's context.
+			msg.Trace = c.trace
+			e.Cur().Trace = c.trace
 			c.Sys.IPC.MachMsg(e, ipc.MsgOptions{
 				Send: msg, SendTo: c.target(),
 				ReceiveFrom: c.reply, RcvTimeout: c.timeout(),
@@ -243,9 +261,11 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 			// Timed out. A silent believed leader that the membership layer
 			// has declared dead means the lease has expired: flip to the
 			// other rank, which will have elected itself.
+			stalled := false
 			if c.phase == phaseOps {
 				g := c.group()
 				if !c.Sys.Links[c.Links[c.believed[g]]].PeerAlive() {
+					stalled = true
 					c.believed[g] = NumRanks - 1 - c.believed[g]
 					c.Stats.Failovers++
 					if r := c.Sys.K.Obs; r != nil {
@@ -254,8 +274,23 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 					}
 				}
 			}
+			if c.trace.Sampled() && c.phase == phaseOps {
+				// The attempt's window was lost to recovery: an election
+				// stall when the leader was declared dead, plain retry
+				// backoff otherwise.
+				r := c.Sys.K.Obs
+				name, seg := "kv.retry", obs.SegRetry
+				if stalled {
+					name, seg = "election-stall", obs.SegElection
+				}
+				r.RecordSpan(obs.Span{
+					Trace: c.trace.Trace, ID: r.NextSpanID(c.trace.Trace),
+					Parent: c.trace.Span, Name: name, Seg: seg, TID: t.ID,
+					Start: c.attemptAt, End: c.Sys.K.Clock.Now(),
+				})
+			}
 			if c.attempts >= CallerMaxAttempts {
-				c.abandon()
+				c.abandon(t)
 			}
 			c.waiting = false
 		}
@@ -265,7 +300,9 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 	}
 	if c.attempts == 0 {
 		c.started = c.Sys.K.Clock.Now()
+		c.mintOp()
 	}
+	c.attemptAt = c.Sys.K.Clock.Now()
 	c.attempts++
 	c.waiting = true
 	c.opid = (c.opid + 1) & (ReplyOpBit - 1)
@@ -273,6 +310,63 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 		c.opid = 1
 	}
 	return c.sendAct, false
+}
+
+// mintOp establishes the new operation's trace context: a child of the
+// preset Ctx when the host tier passed one down, otherwise a fresh root
+// minted from the caller's identity and operation serial — kept or
+// dropped by the head-sampling decision. Done-protocol traffic is never
+// traced.
+func (c *Caller) mintOp() {
+	c.trace = obs.TraceContext{}
+	if c.phase != phaseOps {
+		return
+	}
+	r := c.Sys.K.Obs
+	if r == nil {
+		return
+	}
+	if c.Ctx.Sampled() {
+		c.trace = obs.TraceContext{
+			Trace: c.Ctx.Trace, Span: r.NextSpanID(c.Ctx.Trace), Parent: c.Ctx.Span,
+		}
+		return
+	}
+	if c.OneShot {
+		// A one-shot caller continues its host's trace or stays dark: a
+		// cache fetch is never an operation of its own.
+		return
+	}
+	c.opSerial++
+	tid := obs.MintTraceID(uint64(c.ID)+1, c.opSerial)
+	if !r.SampleTrace(tid) {
+		return
+	}
+	c.trace = obs.TraceContext{Trace: tid, Span: r.NextSpanID(tid)}
+}
+
+// finishSpan closes the operation's span (the trace root, or a child of
+// the host tier's span). Roots carry SegQueue so the critical-path
+// sweep's uncovered residual lands in "queue"; child spans are the
+// parent's downstream service time.
+func (c *Caller) finishSpan(t *core.Thread, end machine.Time, detail string) {
+	if !c.trace.Sampled() {
+		return
+	}
+	seg := obs.SegQueue
+	if c.trace.Parent != 0 {
+		seg = obs.SegService
+	}
+	name := c.HistName
+	if name == "" {
+		name = "op"
+	}
+	c.Sys.K.Obs.RecordSpan(obs.Span{
+		Trace: c.trace.Trace, ID: c.trace.Span, Parent: c.trace.Parent,
+		Name: name, Seg: seg, TID: t.ID, Detail: detail,
+		Start: c.started, End: end,
+	})
+	c.trace = obs.TraceContext{}
 }
 
 // complete finishes the current operation on a matching acknowledgement.
@@ -296,6 +390,9 @@ func (c *Caller) complete(w *Wire, t *core.Thread) {
 			r.Service(c.HistName).Observe(uint64(now - c.started))
 		}
 	}
+	// The span closes on the same [started, now] pair the histogram
+	// observed, so per-op segment sums equal the measured round trip.
+	c.finishSpan(t, now, "")
 	if c.Record {
 		c.History = append(c.History, check.Op{
 			Client: c.ID, Kind: histKind(op.Op), Key: op.Key,
@@ -317,7 +414,7 @@ func (c *Caller) complete(w *Wire, t *core.Thread) {
 }
 
 // abandon gives up on the current operation after the attempt cap.
-func (c *Caller) abandon() {
+func (c *Caller) abandon(t *core.Thread) {
 	if c.phase == phaseDone {
 		c.doneRank++
 		c.attempts = 0
@@ -327,6 +424,7 @@ func (c *Caller) abandon() {
 		return
 	}
 	c.Stats.Failed++
+	c.finishSpan(t, c.Sys.K.Clock.Now(), "abandoned")
 	if c.Record {
 		op := c.Ops[c.idx]
 		c.History = append(c.History, check.Op{

@@ -130,6 +130,11 @@ type pendingRep struct {
 	opid  uint32
 	reply *ipc.Port
 	at    machine.Time
+	// trace is the client operation's causal context. Carried here
+	// explicitly: the replica thread serves other messages between
+	// accepting the write and hearing the ack, so the thread-level
+	// context is long gone by then.
+	trace obs.TraceContext
 }
 
 // outbound is one queued protocol message; the replica drains the queue
@@ -139,6 +144,11 @@ type outbound struct {
 	to   *ipc.Port
 	opid uint32
 	w    *Wire
+	// trace stamps the send (zero for untraced control traffic); at is
+	// when the work this message answers arrived, so the dwell between
+	// handling and transmission is recorded as a service span.
+	trace obs.TraceContext
+	at    machine.Time
 }
 
 // Replica is the per-incarnation server program: one thread per server
@@ -226,6 +236,12 @@ func (r *Replica) push(to *ipc.Port, opid uint32, w *Wire) {
 	r.out = append(r.out, outbound{to: to, opid: opid, w: w})
 }
 
+// pushT is push carrying a causal-trace context: the send is stamped
+// with ctx and the dwell since at becomes a service span.
+func (r *Replica) pushT(to *ipc.Port, opid uint32, w *Wire, ctx obs.TraceContext, at machine.Time) {
+	r.out = append(r.out, outbound{to: to, opid: opid, w: w, trace: ctx, at: at})
+}
+
 // pushPeer queues a message to the other replica. Liveness-bearing
 // control traffic (renewals and rejoin probes) jumps to the front of
 // the out queue: the peer's membership layer reads any arrival as a
@@ -244,6 +260,15 @@ func (r *Replica) pushPeer(w *Wire) {
 		return
 	}
 	r.out = append(r.out, o)
+}
+
+// pushPeerT is pushPeer for traced data messages (replicates and their
+// acks); control traffic never carries a context, so the jump-the-queue
+// path stays in pushPeer.
+func (r *Replica) pushPeerT(w *Wire, ctx obs.TraceContext, at machine.Time) {
+	w.From = r.cfg.Rank
+	r.out = append(r.out, outbound{to: r.peerLink().ProxyFor(PortName), w: w,
+		trace: ctx, at: at})
 }
 
 // wireBytes prices a Wire for the simulated copy/transfer costs.
@@ -270,7 +295,22 @@ func (r *Replica) Next(e *core.Env, t *core.Thread) core.Action {
 			if len(r.out) > 0 {
 				timeout = drainTimeout
 			}
+			if rec := r.sys.K.Obs; rec != nil && o.trace.Sampled() {
+				// Dwell between handling the triggering message and this
+				// transmission: the replica's service time for it.
+				rec.RecordSpan(obs.Span{
+					Trace: o.trace.Trace, ID: rec.NextSpanID(o.trace.Trace),
+					Parent: o.trace.Span, Name: "kv.serve",
+					Seg: obs.SegService, TID: e.Cur().ID,
+					Start: o.at, End: r.sys.K.Clock.Now(),
+				})
+			}
 			msg := r.sys.IPC.NewMessage(o.opid, wireBytes(o.w), o.w, nil)
+			// Stamp message and thread both ways: a traced send carries
+			// its context, an untraced one must not inherit whatever the
+			// thread last received.
+			msg.Trace = o.trace
+			e.Cur().Trace = o.trace
 			r.sys.IPC.MachMsg(e, ipc.MsgOptions{
 				Send: msg, SendTo: o.to,
 				ReceiveFrom: r.port, RcvTimeout: timeout,
@@ -409,6 +449,7 @@ func (r *Replica) observeRep(now, at machine.Time) {
 func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 	w, ok := m.Body.(*Wire)
 	reply := m.Reply
+	ctx := m.Trace
 	r.sys.IPC.FreeMessage(m)
 	if !ok {
 		return
@@ -422,7 +463,7 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 	}
 	switch w.Kind {
 	case MsgClientOp:
-		r.clientOp(w, reply, now)
+		r.clientOp(w, reply, now, ctx)
 
 	case MsgReplicate:
 		g := w.Group
@@ -444,7 +485,7 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 			r.seq[g] = w.Seq
 		}
 		stats.Replicated++
-		r.pushPeer(&Wire{Kind: MsgRepOK, Group: g, Seq: w.Seq})
+		r.pushPeerT(&Wire{Kind: MsgRepOK, Group: g, Seq: w.Seq}, ctx, now)
 
 	case MsgRepOK:
 		for i, p := range r.pending {
@@ -454,7 +495,17 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 			r.pending = append(r.pending[:i], r.pending[i+1:]...)
 			r.recordAck(p.group, p.epoch)
 			r.observeRep(now, p.at)
-			r.push(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid, Found: true})
+			if rec := r.sys.K.Obs; rec != nil && p.trace.Sampled() {
+				// The replication round: accept to backup ack, the same
+				// interval the kv.replicate histogram observed.
+				rec.RecordSpan(obs.Span{
+					Trace: p.trace.Trace, ID: rec.NextSpanID(p.trace.Trace),
+					Parent: p.trace.Span, Name: "kv.replicate",
+					Seg: obs.SegService, TID: t.ID,
+					Start: p.at, End: now,
+				})
+			}
+			r.pushT(p.reply, p.opid|ReplyOpBit, &Wire{Kind: MsgReply, OpID: p.opid, Found: true}, p.trace, now)
 			break
 		}
 
@@ -574,8 +625,10 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 	}
 }
 
-// clientOp serves one Get/Put as leader, or redirects the client.
-func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time) {
+// clientOp serves one Get/Put as leader, or redirects the client. ctx is
+// the request's causal-trace context, threaded through the replication
+// round and onto the reply.
+func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time, ctx obs.TraceContext) {
 	leases, stats := r.cfg.Leases, r.cfg.Stats
 	shard := r.cfg.Map.ShardOf(w.Key)
 	g := r.cfg.Map.GroupOf(shard)
@@ -598,15 +651,15 @@ func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time) {
 			// yet; the peer is the better guess while I resync.
 			hint = r.cfg.PeerRank
 		}
-		r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID,
-			NotLeader: true, Leader: hint})
+		r.pushT(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID,
+			NotLeader: true, Leader: hint}, ctx, now)
 		return
 	}
 	if w.Op == OpGet {
 		stats.Gets++
 		ent, ok := r.store[shard][w.Key]
-		r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID,
-			Key: w.Key, Val: ent.Val, Found: ok})
+		r.pushT(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID,
+			Key: w.Key, Val: ent.Val, Found: ok}, ctx, now)
 		return
 	}
 	stats.Puts++
@@ -614,16 +667,16 @@ func (r *Replica) clientOp(w *Wire, reply *ipc.Port, now machine.Time) {
 	ver := Version{Epoch: leases.L[g].Epoch, Seq: r.seq[g]}
 	r.apply(shard, w.Key, w.Val, ver)
 	if r.peerLink().PeerAlive() {
-		r.pushPeer(&Wire{Kind: MsgReplicate, Group: g, Shard: shard,
-			Key: w.Key, Val: w.Val, Epoch: ver.Epoch, Seq: ver.Seq})
+		r.pushPeerT(&Wire{Kind: MsgReplicate, Group: g, Shard: shard,
+			Key: w.Key, Val: w.Val, Epoch: ver.Epoch, Seq: ver.Seq}, ctx, now)
 		r.pending = append(r.pending, pendingRep{group: g, seq: ver.Seq,
-			epoch: ver.Epoch, opid: w.OpID, reply: reply, at: now})
+			epoch: ver.Epoch, opid: w.OpID, reply: reply, at: now, trace: ctx})
 		return
 	}
 	stats.SoloAcks++
 	r.recordAck(g, ver.Epoch)
 	r.observeRep(now, now)
-	r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Found: true})
+	r.pushT(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Found: true}, ctx, now)
 }
 
 // apply installs a write if its version is newer than what the store

@@ -205,6 +205,7 @@ func runNetRPCFailover(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *
 	}
 	res.Elapsed = machine.Duration(res.Client.K.Clock.Now() - start)
 	res.Recovery.fill(res.Machines)
+	stampCensus(res.Machines)
 	return res
 }
 
@@ -250,7 +251,8 @@ func bootNetRPCFailover(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) 
 			s.EnableWatchdog()
 		}
 		if spec.Observe {
-			s.EnableObservation(0)
+			r := s.EnableObservation(0)
+			r.SetHost(i)
 		}
 	}
 

@@ -55,6 +55,9 @@ type KVSpec struct {
 	RenewEvery machine.Duration
 	IdleExit   machine.Duration
 	DeadAfter  machine.Duration
+	// SampleEvery is the head-sampling rate for causal tracing: keep the
+	// 1-in-N hash class of operation trace ids. 0 or 1 samples every op.
+	SampleEvery int
 	// Parallel runs the cluster's horizon rounds with one goroutine per
 	// machine; results are byte-identical to the sequential rounds.
 	Parallel bool
@@ -234,6 +237,7 @@ func RunKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) *KVResult {
 		}
 	}
 	res.SplitBrain = check.SplitBrain(logs)
+	stampCensus(res.Machines)
 	return res
 }
 
@@ -285,8 +289,11 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 			s.EnableWatchdog()
 		}
 		// The service histograms (kv.op, kv.replicate) live on the
-		// recorder, so observation is always on for this workload.
-		s.EnableObservation(0)
+		// recorder, so observation is always on for this workload; the
+		// host index salts span ids so they never collide across machines.
+		r := s.EnableObservation(0)
+		r.SetHost(i)
+		r.SetSpanSampling(spec.SampleEvery)
 	}
 
 	smap := svc.NewShardMap(spec.Shards, spec.Groups)
@@ -404,6 +411,7 @@ func WriteKVReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *KVRe
 		res.Redirects, res.Failovers, res.Salvaged)
 	fmt.Fprintf(w, "checker: %s; split brain: %s\n", res.Check, splitBrainStr(res.SplitBrain))
 	writeServiceLatency(w, res.Machines, res.Elapsed, []string{"kv.op", "kv.replicate"})
+	writeCritPathSection(w, res.Machines)
 	for i, sys := range res.Machines {
 		writeMachineSection(w, kvMachineName(i), sys, opt)
 	}

@@ -258,6 +258,7 @@ func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCRe
 	}
 	res.Elapsed = machine.Duration(res.Client.K.Clock.Now() - start)
 	res.Recovery.fill(res.Machines)
+	stampCensus(res.Machines)
 	return res
 }
 
@@ -303,8 +304,10 @@ func bootNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) (*NetRPC
 			b.K.DebugChecks = true
 		}
 		if spec.Observe {
-			a.EnableObservation(0)
-			b.EnableObservation(0)
+			ra := a.EnableObservation(0)
+			ra.SetHost(2 * i)
+			rb := b.EnableObservation(0)
+			rb.SetHost(2*i + 1)
 		}
 
 		// Echo server on machine B, reachable from the wire as "echo".

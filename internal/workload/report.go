@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -77,7 +78,37 @@ func writeMachineSection(w io.Writer, name string, sys *kern.System, opt NetRPCR
 		sys.Net.Forwarded, sys.Net.Delivered, sys.Net.InboxHighWater)
 	fmt.Fprintf(w, "  kernel stacks: %.3f average in use, %d worst case\n",
 		sys.K.Stacks.AverageInUse(), sys.K.Stacks.MaxInUse())
+	mc := sys.MemoryCensus()
+	fmt.Fprintf(w, "  memory census: %d stacks high-water vs %d blocked threads high-water (%d live threads)\n",
+		mc.StackHighWater, mc.BlockedHighWater, mc.LiveThreads)
 	writeFaultReport(w, sys, opt)
+}
+
+// stampCensus snapshots every machine's memory census onto its recorder
+// after a run, so the Chrome export carries the space-claim metadata.
+func stampCensus(machines []*kern.System) {
+	for _, sys := range machines {
+		if r := sys.K.Obs; r != nil {
+			r.Census = sys.MemoryCensus()
+		}
+	}
+}
+
+// writeCritPathSection collects every machine's recorded spans, runs the
+// critical-path analyzer over them, and prints the attribution table.
+// No-op when no machine sampled any span (tracing or sampling off).
+func writeCritPathSection(w io.Writer, machines []*kern.System) {
+	var spans []obs.Span
+	for _, sys := range machines {
+		if r := sys.K.Obs; r != nil {
+			spans = append(spans, r.Spans()...)
+		}
+	}
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n")
+	obs.WriteCritPath(w, obs.AnalyzeCritPath(spans))
 }
 
 // writeRecoveryReport prints the cluster-wide crash/failover accounting

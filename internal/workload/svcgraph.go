@@ -51,6 +51,9 @@ type SvcGraphSpec struct {
 	RenewEvery machine.Duration
 	IdleExit   machine.Duration
 	DeadAfter  machine.Duration
+	// SampleEvery is the causal-tracing head-sampling rate as in KVSpec:
+	// keep the 1-in-N hash class of trace ids; 0 or 1 samples every op.
+	SampleEvery int
 	// Parallel / DebugChecks as in the other workload specs.
 	Parallel    bool
 	DebugChecks bool
@@ -109,6 +112,7 @@ func RunSvcGraph(flavor kern.Flavor, arch machine.Arch, spec SvcGraphSpec) *SvcG
 	res.Recovery.fill(res.Machines)
 	res.Recovery.Salvaged = res.Salvaged
 	res.Recovery.Failed = uint64(res.Failed)
+	stampCensus(res.Machines)
 	return res
 }
 
@@ -157,7 +161,9 @@ func bootSvcGraph(flavor kern.Flavor, arch machine.Arch, spec SvcGraphSpec) (*Sv
 			s.K.DebugChecks = true
 			s.EnableWatchdog()
 		}
-		s.EnableObservation(0)
+		r := s.EnableObservation(0)
+		r.SetHost(i)
+		r.SetSpanSampling(spec.SampleEvery)
 	}
 
 	smap := svc.NewShardMap(spec.Shards, spec.Groups)
@@ -250,6 +256,7 @@ func WriteSvcGraphReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res
 		t.Gets, t.Puts, t.Replicated, t.SoloAcks)
 	writeServiceLatency(w, res.Machines, res.Elapsed,
 		[]string{"frontend", "cache.fetch", "kv.replicate"})
+	writeCritPathSection(w, res.Machines)
 	for i, sys := range res.Machines {
 		writeMachineSection(w, svcGraphMachineName(i), sys, opt)
 	}
