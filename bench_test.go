@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/dev"
 	"repro/internal/experiments"
 	"repro/internal/kern"
 	"repro/internal/machine"
@@ -352,6 +353,45 @@ func BenchmarkClusterNetRPC(b *testing.B) {
 	}
 	b.Run("seq", func(b *testing.B) { run(b, false) })
 	b.Run("par", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkClusterScale measures the driver's per-round cost on a
+// mostly-idle cluster: machine 0 runs a self-rescheduling 20us tick
+// while every other machine sits quiescent, so each horizon round has
+// exactly one active machine no matter the cluster size. With the
+// indexed activity heap, cached wire lookahead and dirty-NIC flush the
+// round cost is O(active + log N); CI gates m256 <= 3x m8 (benchjson
+// -max-ratio), which a full per-round sweep over machines and NICs would
+// blow through immediately.
+func BenchmarkClusterScale(b *testing.B) {
+	run := func(b *testing.B, n int) {
+		cfg := kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100, DisableCallout: true}
+		systems := make([]*kern.System, n)
+		for i := range systems {
+			systems[i] = kern.New(cfg)
+		}
+		for i := 0; i+1 < n; i += 2 {
+			dev.Connect(systems[i].Net.NIC, systems[i+1].Net.NIC, machine.Duration(100_000))
+		}
+		cluster := kern.NewCluster(systems...)
+		cluster.Drive(false) // drain boot work; every machine goes idle
+		s0 := systems[0]
+		var tick func()
+		tick = func() { s0.K.Clock.After(machine.Duration(20_000), "tick", tick) }
+		tick()
+		cluster.SetDeferredForTest(true)
+		defer cluster.SetDeferredForTest(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := cluster.RoundForTest(); !ok {
+				b.Fatal("busy machine went quiescent")
+			}
+		}
+	}
+	b.Run("m8", func(b *testing.B) { run(b, 8) })
+	b.Run("m64", func(b *testing.B) { run(b, 64) })
+	b.Run("m256", func(b *testing.B) { run(b, 256) })
 }
 
 // BenchmarkDispatchTracedVsUntraced measures the observability tax on

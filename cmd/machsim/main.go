@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	machsim [-workload compile|build|dos|netrpc|kv|svcgraph]
+//	machsim [-workload compile|build|dos|netrpc|kv|svcgraph|mtload]
 //	        [-flavor mk40|mk32|mach25] [-arch ds3100|toshiba]
 //	        [-scale f] [-seed n] [-v]
 //	        [-pairs n] [-clients n] [-parallel] [-failover]
+//	        [-machines n] [-tenants n] [-sessions n]
 //	        [-faults seed:spec] [-crash M@T[:reboot+N]]
 //	        [-fuzz seed:count] [-fuzzout dir] [-breakkv]
 //	        [-check] [-trace out.json] [-profile] [-sample 1/N]
@@ -29,6 +30,19 @@
 //   - svcgraph: the multi-tier service graph — frontend -> cache ->
 //     replicated KV — reporting per-tier throughput and p50/p99 latency
 //     from the service histograms.
+//   - mtload: the open-loop multi-tenant load generator at cluster
+//     scale — -machines n client/server hosts (even, default 8) carrying
+//     -tenants k traffic classes (default 4) whose sessions a
+//     cluster-level balancer spreads across the machines; -sessions
+//     overrides the per-tenant session count (default 100 per machine).
+//     Each session sleeps through jittered think times as a blocked
+//     continuation and charges latency from its intended arrival, so the
+//     report's per-tenant p50/p99 and SLA-attainment include queueing
+//     delay. The aggregate report ends with the cluster memory census:
+//     stacks stay O(processors) per machine while blocked sessions scale
+//     into the 10^5..10^6 range. -machines/-tenants/-sessions only make
+//     sense here, and the pair/fault flags of the other cluster
+//     workloads make no sense here; machsim rejects either mixture.
 //
 // Shared cluster flags: -parallel drives the machines on one goroutine
 // each (output stays byte-identical to the sequential driver); -crash
@@ -113,7 +127,7 @@ import (
 )
 
 var (
-	workloadName = flag.String("workload", "compile", "compile, build, dos, netrpc, kv, or svcgraph")
+	workloadName = flag.String("workload", "compile", "compile, build, dos, netrpc, kv, svcgraph, or mtload")
 	flavorName   = flag.String("flavor", "mk40", "mk40, mk32, or mach25")
 	archName     = flag.String("arch", "toshiba", "ds3100 or toshiba")
 	scale        = flag.Float64("scale", 0.25, "fraction of the paper's duration to simulate")
@@ -131,6 +145,9 @@ var (
 	fuzzOut      = flag.String("fuzzout", "", "kv fuzz: directory receiving one history dump per schedule")
 	breakKV      = flag.Bool("breakkv", false, "kv: run the deliberately broken replicas (checker must flag them)")
 	sampleFlag   = flag.String("sample", "", "kv/svcgraph: head-sample 1/N of operation traces (default 1/1, keep all)")
+	machines     = flag.Int("machines", 8, "mtload: cluster size (even, >= 2)")
+	tenants      = flag.Int("tenants", 4, "mtload: tenant count")
+	sessions     = flag.Int("sessions", 0, "mtload: sessions per tenant (default 100 per machine)")
 
 	// sampleEvery is the parsed -sample denominator (1 = keep everything).
 	sampleEvery = 1
@@ -185,8 +202,55 @@ func resolveCrashes(workloadName string) []fault.Crash {
 	return out
 }
 
+// mtloadOnlyFlags and clusterOnlyFlags partition the flags that bind to
+// one workload family: the first group only means something under
+// -workload mtload, the second only under the pair/fault workloads.
+var (
+	mtloadOnlyFlags  = []string{"machines", "tenants", "sessions"}
+	clusterOnlyFlags = []string{
+		"pairs", "clients", "failover", "faults", "crash",
+		"fuzz", "fuzzout", "breakkv", "sample", "scale",
+	}
+)
+
+// validateWorkloadFlags rejects nonsensical flag combinations before any
+// machine boots: mtload-only sizing flags on other workloads, the
+// pair/fault flags on mtload, and mtload sizes that cannot describe a
+// cluster. set reports whether a flag appeared on the command line
+// (flagWasSet in production; a stub in tests).
+func validateWorkloadFlags(name string, machines, tenants, sessions int, set func(string) bool) error {
+	if name != "mtload" {
+		for _, f := range mtloadOnlyFlags {
+			if set(f) {
+				return fmt.Errorf("-%s only applies to -workload mtload (got %q)", f, name)
+			}
+		}
+		return nil
+	}
+	for _, f := range clusterOnlyFlags {
+		if set(f) {
+			return fmt.Errorf("-%s does not apply to -workload mtload", f)
+		}
+	}
+	if machines < 2 || machines%2 != 0 {
+		return fmt.Errorf("-machines must be even and >= 2, got %d", machines)
+	}
+	if tenants < 1 {
+		return fmt.Errorf("-tenants must be >= 1, got %d", tenants)
+	}
+	if set("sessions") && sessions < 1 {
+		return fmt.Errorf("-sessions must be >= 1, got %d", sessions)
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
+
+	if err := validateWorkloadFlags(*workloadName, *machines, *tenants, *sessions, flagWasSet); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var flavor kern.Flavor
 	switch *flavorName {
@@ -248,6 +312,9 @@ func main() {
 		return
 	case "svcgraph":
 		runSvcGraph(flavor, arch, faultSeed, faultSpec)
+		return
+	case "mtload":
+		runMTLoad(flavor, arch)
 		return
 	}
 
@@ -468,6 +535,25 @@ func runSvcGraph(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultS
 	workload.WriteSvcGraphReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
 		Faults: *faultsFlag != "" || len(faultSpec.Crashes) > 0, Check: *check,
 	})
+	emitClusterObservations(res.Machines)
+}
+
+// runMTLoad drives the open-loop multi-tenant load generator and prints
+// its aggregate report.
+func runMTLoad(flavor kern.Flavor, arch machine.Arch) {
+	spec := workload.DefaultMTLoad()
+	spec.Machines = *machines
+	spec.Tenants = *tenants
+	if *sessions > 0 {
+		spec.SessionsPerTenant = *sessions
+	}
+	if flagWasSet("seed") {
+		spec.Seed = *seed
+	}
+	spec.Parallel = *parallel
+	spec.DebugChecks = *check
+	res := workload.RunMTLoad(flavor, arch, spec)
+	workload.WriteMTLoadReport(os.Stdout, res)
 	emitClusterObservations(res.Machines)
 }
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateWorkloadFlags covers the flag-combination matrix machsim
+// rejects with exit 2 before booting anything: mtload sizing flags on
+// other workloads, the pair/fault flags on mtload, and impossible mtload
+// cluster shapes.
+func TestValidateWorkloadFlags(t *testing.T) {
+	tests := []struct {
+		name     string
+		workload string
+		machines int
+		tenants  int
+		sessions int
+		set      []string
+		wantErr  string // substring; empty means valid
+	}{
+		{name: "defaults compile", workload: "compile", machines: 8, tenants: 4},
+		{name: "defaults mtload", workload: "mtload", machines: 8, tenants: 4},
+		{name: "mtload explicit sizes", workload: "mtload", machines: 256, tenants: 8,
+			sessions: 500, set: []string{"machines", "tenants", "sessions"}},
+		{name: "mtload with parallel and check", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"parallel", "check", "trace"}},
+
+		{name: "machines on netrpc", workload: "netrpc", machines: 8, tenants: 4,
+			set: []string{"machines"}, wantErr: "-machines only applies"},
+		{name: "tenants on kv", workload: "kv", machines: 8, tenants: 4,
+			set: []string{"tenants"}, wantErr: "-tenants only applies"},
+		{name: "sessions on compile", workload: "compile", machines: 8, tenants: 4,
+			set: []string{"sessions"}, wantErr: "-sessions only applies"},
+
+		{name: "pairs on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"pairs"}, wantErr: "-pairs does not apply"},
+		{name: "clients on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"clients"}, wantErr: "-clients does not apply"},
+		{name: "failover on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"failover"}, wantErr: "-failover does not apply"},
+		{name: "faults on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"faults"}, wantErr: "-faults does not apply"},
+		{name: "crash on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"crash"}, wantErr: "-crash does not apply"},
+		{name: "fuzz on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"fuzz"}, wantErr: "-fuzz does not apply"},
+		{name: "breakkv on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"breakkv"}, wantErr: "-breakkv does not apply"},
+		{name: "sample on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"sample"}, wantErr: "-sample does not apply"},
+		{name: "scale on mtload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"scale"}, wantErr: "-scale does not apply"},
+
+		{name: "odd machines", workload: "mtload", machines: 9, tenants: 4,
+			set: []string{"machines"}, wantErr: "must be even"},
+		{name: "too few machines", workload: "mtload", machines: 0, tenants: 4,
+			set: []string{"machines"}, wantErr: "must be even and >= 2"},
+		{name: "zero tenants", workload: "mtload", machines: 8, tenants: 0,
+			set: []string{"tenants"}, wantErr: "-tenants must be >= 1"},
+		{name: "zero sessions set", workload: "mtload", machines: 8, tenants: 4,
+			sessions: 0, set: []string{"sessions"}, wantErr: "-sessions must be >= 1"},
+		{name: "derived sessions ok", workload: "mtload", machines: 8, tenants: 4,
+			sessions: 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			set := func(name string) bool {
+				for _, f := range tc.set {
+					if f == name {
+						return true
+					}
+				}
+				return false
+			}
+			err := validateWorkloadFlags(tc.workload, tc.machines, tc.tenants, tc.sessions, set)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

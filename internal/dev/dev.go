@@ -185,6 +185,14 @@ type Subsystem struct {
 	byName  map[string]*Device
 	nics    []*NIC
 
+	// dirtyNICs lists, in first-buffer order, the NICs holding deferred
+	// deliveries from the current cluster round; the barrier flush drains
+	// exactly these instead of scanning every NIC of every machine. Each
+	// NIC appends itself (at most once per round, via its dirty mark) from
+	// its own machine's context, so the list needs no locking under the
+	// parallel driver.
+	dirtyNICs []*NIC
+
 	completions []*Request
 
 	// HandlerCost accumulates all work charged in interrupt context

@@ -108,9 +108,11 @@ type NIC struct {
 	// deferOn buffers outbound arrivals in pending instead of touching the
 	// peer's clock — the parallel cluster driver sets it so a machine's
 	// round never mutates another machine's state; the coordinator flushes
-	// at the barrier.
-	deferOn bool
-	pending []wireDelivery
+	// at the barrier. dirtyMark records that this NIC is already on its
+	// subsystem's dirty list for the current round.
+	deferOn   bool
+	dirtyMark bool
+	pending   []wireDelivery
 
 	// rxLabel and rxDupLabel are the arrival event labels, precomputed at
 	// Connect so the transmit path does not build strings per packet.
@@ -182,6 +184,13 @@ func (s *Subsystem) AdoptNIC(n *NIC) {
 	n.Sub = s
 	n.handler = nil
 	s.nics = append(s.nics, n)
+	// Deliveries buffered before the crash are still on the wire; carry
+	// them onto the new incarnation's dirty list so the barrier flush
+	// does not strand them.
+	n.dirtyMark = len(n.pending) > 0
+	if n.dirtyMark {
+		s.dirtyNICs = append(s.dirtyNICs, n)
+	}
 }
 
 // Index reports the NIC's creation order on its machine.
@@ -282,6 +291,10 @@ func (n *NIC) deliverAt(at machine.Time, label string, pkt *Packet) {
 	key := uint64(peer.index)<<32 | (n.txSeq & 0xffffffff)
 	n.txSeq++
 	if n.deferOn {
+		if !n.dirtyMark {
+			n.dirtyMark = true
+			n.Sub.dirtyNICs = append(n.Sub.dirtyNICs, n)
+		}
 		n.pending = append(n.pending, wireDelivery{at: at, key: key, label: label, pkt: pkt})
 		return
 	}
@@ -305,6 +318,50 @@ func (n *NIC) FlushDeferred() int {
 		n.pending[i] = wireDelivery{}
 	}
 	n.pending = n.pending[:0]
+	n.dirtyMark = false
+	return cnt
+}
+
+// PendingDeferred reports how many buffered deliveries await the next
+// flush — the cross-check that a dirty-list flush stranded nothing.
+func (n *NIC) PendingDeferred() int { return len(n.pending) }
+
+// FlushDirtyDeferred drains only the NICs that buffered deliveries since
+// the last flush, in NIC-index order (first-buffer order within a round
+// is deterministic but not index-ordered, so the short list is sorted to
+// keep the documented machine/NIC/emission flush order). Called
+// single-threaded at a round's barrier.
+func (s *Subsystem) FlushDirtyDeferred() int {
+	if len(s.dirtyNICs) == 0 {
+		return 0
+	}
+	d := s.dirtyNICs
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j].index < d[j-1].index; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+	cnt := 0
+	for i, n := range d {
+		cnt += n.FlushDeferred()
+		d[i] = nil
+	}
+	s.dirtyNICs = s.dirtyNICs[:0]
+	return cnt
+}
+
+// FlushAllDeferred drains every NIC regardless of dirty state — the
+// reference full-scan flush — and resets the dirty bookkeeping so the
+// two flush paths stay interchangeable.
+func (s *Subsystem) FlushAllDeferred() int {
+	cnt := 0
+	for _, n := range s.nics {
+		cnt += n.FlushDeferred()
+	}
+	for i := range s.dirtyNICs {
+		s.dirtyNICs[i] = nil
+	}
+	s.dirtyNICs = s.dirtyNICs[:0]
 	return cnt
 }
 

@@ -1,0 +1,193 @@
+package kern_test
+
+// Tests for the O(active)-cost cluster driver: the indexed activity heap
+// against the naive full-sweep horizon, the cached wire lookahead
+// against link changes, and Step's incrementally maintained order
+// against a from-scratch stable sort.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dev"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// bootCluster builds n machines with consecutive pairs wired at the
+// given latencies (wires[i] joins machines 2i and 2i+1; machines beyond
+// the last wire stay unconnected).
+func bootCluster(t *testing.T, n int, wires ...machine.Duration) (*kern.Cluster, []*kern.System) {
+	t.Helper()
+	cfg := kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100}
+	systems := make([]*kern.System, n)
+	for i := range systems {
+		systems[i] = kern.New(cfg)
+	}
+	for i, w := range wires {
+		if 2*i+1 < n {
+			dev.Connect(systems[2*i].Net.NIC, systems[2*i+1].Net.NIC, w)
+		}
+	}
+	return kern.NewCluster(systems...), systems
+}
+
+// TestActivityHeapMatchesSweep drives a random mix of schedules,
+// cancels, background timers, link re-timings and horizon rounds, and
+// after every operation checks the incremental horizon (heap repair +
+// wire cache) against the naive full sweep. The watchers are the only
+// thing keeping the heap honest here — no Drive() ever marks all
+// machines dirty.
+func TestActivityHeapMatchesSweep(t *testing.T) {
+	cluster, systems := bootCluster(t, 6,
+		machine.Duration(1_000_000), machine.Duration(2_000_000))
+	cluster.SetDeferredForTest(true)
+	defer cluster.SetDeferredForTest(false)
+
+	type owned struct {
+		clock *machine.Clock
+		ev    *machine.Event
+	}
+	rng := workload.NewRNG(7)
+	var live []owned
+	check := func(step int) {
+		t.Helper()
+		hf, okf := cluster.HorizonFastForTest()
+		hn, okn := cluster.HorizonForTest()
+		if hf != hn || okf != okn {
+			t.Fatalf("step %d: fast horizon (%v, %v) != naive sweep (%v, %v)",
+				step, hf, okf, hn, okn)
+		}
+	}
+
+	check(-1)
+	for i := 0; i < 600; i++ {
+		s := systems[rng.Intn(len(systems))]
+		switch rng.Intn(6) {
+		case 0, 1:
+			at := s.K.Clock.Now() + machine.Time(1+rng.Intn(5_000_000))
+			live = append(live, owned{s.K.Clock, s.K.Clock.Schedule(at, "prop-fg", func() {})})
+		case 2:
+			s.K.Clock.AfterBackground(machine.Duration(1+rng.Intn(5_000_000)), "prop-bg", func() {})
+		case 3:
+			if len(live) > 0 {
+				j := rng.Intn(len(live))
+				live[j].clock.Cancel(live[j].ev)
+				live = append(live[:j], live[j+1:]...)
+			}
+		case 4:
+			// Re-time a link: the wire cache must be invalidated, not
+			// merely conservative.
+			w := machine.Duration(100_000 * (1 + rng.Intn(30)))
+			cluster.SetLink(systems[0].Net.NIC, systems[1].Net.NIC, w)
+		default:
+			cluster.RoundForTest()
+		}
+		check(i)
+	}
+	// Drain to quiescence: the heap must empty exactly when the sweep
+	// reports no activity.
+	for {
+		if _, ok := cluster.RoundForTest(); !ok {
+			break
+		}
+	}
+	check(601)
+	if _, ok := cluster.HorizonForTest(); ok {
+		t.Fatalf("cluster not quiescent after drain")
+	}
+}
+
+// TestSetLinkMovesHorizon pins the cache-invalidation contract: lowering
+// the only wire latency mid-run must lower the next horizon, raising it
+// must raise it, and both must keep matching the naive sweep.
+func TestSetLinkMovesHorizon(t *testing.T) {
+	cluster, systems := bootCluster(t, 2, machine.Duration(2_000_000))
+	a, b := systems[0], systems[1]
+
+	h0, ok := cluster.HorizonFastForTest()
+	if !ok {
+		t.Fatalf("fresh cluster reports no activity")
+	}
+	cluster.SetLink(a.Net.NIC, b.Net.NIC, machine.Duration(500_000))
+	h1, ok := cluster.HorizonFastForTest()
+	if !ok || h1 >= h0 {
+		t.Fatalf("lowering wire 2ms->0.5ms: horizon %v -> %v, want a decrease", h0, h1)
+	}
+	cluster.SetLink(a.Net.NIC, b.Net.NIC, machine.Duration(4_000_000))
+	h2, ok := cluster.HorizonFastForTest()
+	if !ok || h2 <= h1 {
+		t.Fatalf("raising wire 0.5ms->4ms: horizon %v -> %v, want an increase", h1, h2)
+	}
+	hn, _ := cluster.HorizonForTest()
+	if h2 != hn {
+		t.Fatalf("cached horizon %v != naive sweep %v after SetLink", h2, hn)
+	}
+}
+
+// TestCrashRebootRefreshesWireCache checks the barrier's TakeTopoChanged
+// polling: a crash and warm reboot inside a drive must leave the cached
+// lookahead consistent with the naive sweep afterwards.
+func TestCrashRebootRefreshesWireCache(t *testing.T) {
+	cluster, systems := bootCluster(t, 4,
+		machine.Duration(1_000_000), machine.Duration(3_000_000))
+	cluster.CrossCheck = true
+	systems[1].ScheduleCrash(machine.Time(2_000_000), machine.Duration(2_000_000))
+	cluster.Drive(false) // CrossCheck panics on any cache divergence
+	if systems[1].Reboots != 1 {
+		t.Fatalf("machine 1 reboots = %d, want 1", systems[1].Reboots)
+	}
+	hf, okf := cluster.HorizonFastForTest()
+	hn, okn := cluster.HorizonForTest()
+	if hf != hn || okf != okn {
+		t.Fatalf("post-reboot horizon (%v, %v) != naive sweep (%v, %v)", hf, okf, hn, okn)
+	}
+}
+
+// TestStepOrderIncremental cross-checks Step's incrementally sorted
+// machine order against a from-scratch stable sort by (clock, index)
+// after every single step.
+func TestStepOrderIncremental(t *testing.T) {
+	cluster, systems := bootCluster(t, 4, machine.Duration(500_000))
+	// Cross-machine traffic plus local timers keep the clocks drifting
+	// past each other so the order actually churns.
+	for _, s := range systems {
+		s := s
+		var tick func()
+		n := 0
+		tick = func() {
+			if n++; n < 50 {
+				s.K.Clock.After(machine.Duration(100_000+10_000*n), "tick", tick)
+			}
+		}
+		s.K.Clock.After(machine.Duration(100_000), "tick", tick)
+	}
+
+	naive := func() []int {
+		idx := make([]int, len(systems))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool {
+			return systems[idx[x]].K.Clock.Now() < systems[idx[y]].K.Clock.Now()
+		})
+		return idx
+	}
+	steps := 0
+	for cluster.Step(false) {
+		steps++
+		got, want := cluster.OrderForTest(), naive()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("after step %d: incremental order %v != stable sort %v", steps, got, want)
+			}
+		}
+		if steps > 20_000 {
+			t.Fatalf("cluster did not quiesce")
+		}
+	}
+	if steps == 0 {
+		t.Fatalf("cluster took no steps")
+	}
+}

@@ -134,6 +134,7 @@ func (s *System) Crash(rebootAfter machine.Duration) {
 	}
 	s.CrashCount++
 	s.Down = true
+	s.topoChanged = true
 	for _, n := range s.Links {
 		n.NIC.SetDown(true)
 		s.priorNet.add(n)
@@ -172,6 +173,7 @@ func (s *System) Reboot() {
 	}
 	s.Incarnation++
 	s.Down = false
+	s.topoChanged = true
 	s.bootSubstrates(nics)
 	for i, n := range s.Links {
 		o := old[i]

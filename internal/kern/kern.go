@@ -244,6 +244,21 @@ type System struct {
 	// reboots.
 	CrashCount uint64
 	Reboots    uint64
+
+	// topoChanged is set by Crash and Reboot — the events after which a
+	// cluster driver's cached wire lookahead may be stale. It is written
+	// only from this machine's own execution (crash/reboot are local clock
+	// events) and polled by the cluster coordinator at the round barrier,
+	// so no locking is needed under the parallel driver.
+	topoChanged bool
+}
+
+// TakeTopoChanged reports and clears the machine's pending topology
+// change (crash or reboot since the last poll).
+func (s *System) TakeTopoChanged() bool {
+	v := s.topoChanged
+	s.topoChanged = false
+	return v
 }
 
 // namedService pairs a service name with its boot installer.

@@ -82,10 +82,31 @@ type Clock struct {
 	events     eventHeap
 	seq        uint64
 	foreground int // pending non-background events
+
+	// watcher, when set, runs after any mutation that can change the
+	// clock's next-activity view (earliest pending event, foreground
+	// count). The cluster driver installs a dirty-marking hook here so
+	// its per-machine activity heap can be repaired lazily instead of
+	// re-scanning every machine per round. The hook must be cheap and
+	// idempotent; it is not called for plain time advances, which only
+	// ever lower-bound activity conservatively.
+	watcher func()
 }
 
 // NewClock returns a clock at time zero.
 func NewClock() *Clock { return &Clock{} }
+
+// SetActivityWatcher installs (or, with nil, removes) the hook run after
+// every event-queue mutation. At most one watcher is supported; a new
+// cluster driver replaces any previous one.
+func (c *Clock) SetActivityWatcher(fn func()) { c.watcher = fn }
+
+// notify runs the activity watcher, if any.
+func (c *Clock) notify() {
+	if c.watcher != nil {
+		c.watcher()
+	}
+}
 
 // Now returns the current simulated time.
 func (c *Clock) Now() Time { return c.now }
@@ -113,6 +134,7 @@ func (c *Clock) Schedule(when Time, label string, fn func()) *Event {
 	c.seq++
 	heap.Push(&c.events, e)
 	c.foreground++
+	c.notify()
 	return e
 }
 
@@ -134,6 +156,7 @@ func (c *Clock) ScheduleRemote(when Time, key uint64, label string, fn func()) *
 	e := &Event{When: when, Fire: fn, Label: label, seq: remoteBand | key}
 	heap.Push(&c.events, e)
 	c.foreground++
+	c.notify()
 	return e
 }
 
@@ -148,6 +171,7 @@ func (c *Clock) AfterBackground(d Duration, label string, fn func()) *Event {
 	e := c.Schedule(c.now+d, label, fn)
 	e.Background = true
 	c.foreground--
+	c.notify()
 	return e
 }
 
@@ -166,6 +190,7 @@ func (c *Clock) Cancel(e *Event) bool {
 	if !e.Background {
 		c.foreground--
 	}
+	c.notify()
 	return true
 }
 
@@ -188,6 +213,7 @@ func (c *Clock) PopDue() *Event {
 	if !e.Background {
 		c.foreground--
 	}
+	c.notify()
 	return e
 }
 
@@ -205,6 +231,7 @@ func (c *Clock) AdvanceToNextEvent() *Event {
 	if e.When > c.now {
 		c.now = e.When
 	}
+	c.notify()
 	return e
 }
 
@@ -242,5 +269,6 @@ func (c *Clock) PurgeLocal() int {
 		e.index = i
 	}
 	heap.Init(&c.events)
+	c.notify()
 	return purged
 }

@@ -189,6 +189,7 @@ func (c *haClient) Next(e *core.Env, t *core.Thread) core.Action {
 func runNetRPCFailover(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCResult {
 	res, clis, readers := bootNetRPCFailover(flavor, arch, spec)
 	cluster := kern.NewCluster(res.Machines...)
+	cluster.CrossCheck = spec.DebugChecks
 	start := res.Client.K.Clock.Now()
 	res.Steps = cluster.Drive(spec.Parallel)
 	for _, cli := range clis {

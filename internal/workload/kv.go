@@ -211,6 +211,7 @@ func scheduleCrashPlan(machines []*kern.System, crashes []fault.Crash) {
 func RunKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) *KVResult {
 	res, clis := bootKV(flavor, arch, spec)
 	cluster := kern.NewCluster(res.Machines...)
+	cluster.CrossCheck = spec.DebugChecks
 	start := res.Machines[0].K.Clock.Now()
 	res.Steps = cluster.Drive(spec.Parallel)
 	for _, c := range clis {

@@ -1,0 +1,391 @@
+// Open-loop multi-tenant load generator: the scale workload behind the
+// O(active)-cost cluster driver. K tenants run thousands of client
+// sessions spread across the cluster by the load balancer; each session
+// generates arrivals on its own jittered open-loop schedule, sleeping
+// through its think time as a blocked continuation, so the cluster
+// carries blocked-thread populations in the 10^5..10^6 range while every
+// machine's kernel-stack pool stays bounded by its processor count — the
+// paper's space claim at cluster scale. Latency is charged from each
+// op's intended arrival time, so a session that falls behind keeps
+// accumulating the queueing delay in its histogram instead of silently
+// pausing the load (no coordinated omission).
+package workload
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dev"
+	"repro/internal/ipc"
+	"repro/internal/kern"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// MTLoadSpec sizes the multi-tenant load run.
+type MTLoadSpec struct {
+	// Machines is the cluster size; must be even and >= 2. Machine 2p is
+	// pair p's client host, machine 2p+1 its echo-service host.
+	Machines int
+	// Tenants is how many tenants MakeTenants builds.
+	Tenants int
+	// SessionsPerTenant is each tenant's cluster-wide session count
+	// (DefaultSessionsPerMachine * Machines when 0).
+	SessionsPerTenant int
+	// Ops is how many RPCs each session completes.
+	Ops int
+	// ServerWorkers is the echo-service thread count per server machine.
+	ServerWorkers int
+	// Seed feeds every session's arrival-jitter RNG stream.
+	Seed uint64
+	// Warmup delays every session's first arrival so the whole
+	// population is booted — and parked as blocked continuations —
+	// before traffic starts. Defaults to a ramp sized to the largest
+	// pair's session count; this is also the instant the memory census
+	// reads the space claim at full scale.
+	Warmup machine.Duration
+	// Wire is the one-way NIC latency (dev.DefaultWireLatency if 0).
+	Wire machine.Duration
+	// Parallel drives the horizon rounds on the worker pool; results are
+	// byte-identical to the sequential rounds.
+	Parallel bool
+	// DebugChecks arms the kernel invariant sweep on every machine and
+	// the cluster driver's naive-sweep cross-check on every round.
+	DebugChecks bool
+}
+
+// DefaultSessionsPerMachine scales the blocked-thread population with
+// the cluster: at 256 machines and 4 tenants the default run holds
+// ~10^5 concurrently blocked sessions.
+const DefaultSessionsPerMachine = 100
+
+// DefaultMTLoad returns the small smoke-test configuration.
+func DefaultMTLoad() MTLoadSpec {
+	return MTLoadSpec{Machines: 8, Tenants: 4, Ops: 2, Seed: 1}
+}
+
+// TenantStats aggregates one tenant's outcome across all its sessions.
+type TenantStats struct {
+	Name     string
+	Sessions int
+	Ops      uint64
+	Attained uint64
+	Hist     *obs.Histogram
+}
+
+// MTLoadResult reports one multi-tenant run.
+type MTLoadResult struct {
+	Spec     MTLoadSpec
+	Machines []*kern.System
+	Tenants  []TenantSpec
+	// Placement[pair][tenant] is the balancer's session assignment.
+	Placement [][]int
+	PerTenant []TenantStats
+	Steps     uint64
+	Elapsed   machine.Duration
+}
+
+// tenantWakeDone resumes a session after its open-loop think sleep.
+var tenantWakeDone = core.NewContinuation("tenant_think_done", func(e *core.Env) {
+	e.K.ThreadSyscallReturn(e, 0)
+})
+
+// mtSession is one tenant session: an open-loop arrival generator that
+// sleeps through each think gap as a blocked continuation, then issues
+// one echo RPC and waits for the reply. The arrival schedule advances
+// independently of completions: when a reply is late the next intended
+// arrival is already in the past, the session skips the sleep, and the
+// lateness lands in the latency histogram.
+type mtSession struct {
+	sys      *kern.System
+	tenant   *TenantSpec
+	tenantIx int
+	proxy    *ipc.Port
+	reply    *ipc.Port
+	rng      *RNG
+	hist     *obs.Histogram
+	bytes    int
+	ops      int
+
+	done     int
+	attained int
+	intended machine.Time
+	arriving bool
+
+	sleepAct core.Action
+	rpcAct   core.Action
+}
+
+func (s *mtSession) Next(e *core.Env, t *core.Thread) core.Action {
+	if s.rpcAct.Invoke == nil {
+		s.rpcAct = core.Syscall("mach_msg(tenant-rpc)", func(e *core.Env) {
+			req := s.sys.IPC.NewMessage(1, s.bytes, nil, s.reply)
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{
+				Send: req, SendTo: s.proxy, ReceiveFrom: s.reply,
+			})
+		})
+		s.sleepAct = core.Syscall("tenant-think", func(e *core.Env) {
+			th := e.Cur()
+			s.sys.K.Clock.Schedule(s.intended, "tenant-wake", func() {
+				if th.State == core.StateWaiting {
+					s.sys.K.Setrun(th)
+				}
+			})
+			th.State = core.StateWaiting
+			s.sys.K.Block(e, stats.BlockInternal, tenantWakeDone,
+				func(e2 *core.Env) { e2.K.ThreadSyscallReturn(e2, 0) }, 96, "tenant-think")
+		})
+	}
+	if m := s.sys.IPC.Received(t); m != nil {
+		s.sys.IPC.FreeMessage(m)
+		lat := uint64(s.sys.K.Clock.Now() - s.intended)
+		s.hist.Observe(lat)
+		if machine.Duration(lat) <= s.tenant.SLA {
+			s.attained++
+		}
+		s.done++
+	}
+	if s.done >= s.ops {
+		return core.Exit()
+	}
+	if !s.arriving {
+		s.intended += machine.Time(s.rng.Burst(uint64(s.tenant.Think)))
+		s.arriving = true
+		if s.intended > s.sys.K.Clock.Now() {
+			return s.sleepAct
+		}
+	}
+	s.arriving = false
+	return s.rpcAct
+}
+
+// RunMTLoad boots the cluster, places every tenant session, and drives
+// the horizon rounds to quiescence. Fully deterministic: with the same
+// spec the run is byte-identical regardless of spec.Parallel or
+// GOMAXPROCS.
+func RunMTLoad(flavor kern.Flavor, arch machine.Arch, spec MTLoadSpec) *MTLoadResult {
+	if spec.Machines < 2 {
+		spec.Machines = 2
+	}
+	if spec.Machines%2 != 0 {
+		spec.Machines++
+	}
+	if spec.Tenants < 1 {
+		spec.Tenants = 1
+	}
+	if spec.SessionsPerTenant <= 0 {
+		spec.SessionsPerTenant = DefaultSessionsPerMachine * spec.Machines
+	}
+	if spec.Ops <= 0 {
+		spec.Ops = 2
+	}
+	if spec.ServerWorkers <= 0 {
+		spec.ServerWorkers = 4
+	}
+
+	pairs := spec.Machines / 2
+	tenants := MakeTenants(spec.Tenants, spec.SessionsPerTenant)
+	placement := placeSessions(tenants, pairs)
+	if spec.Warmup <= 0 {
+		// Booting a session costs a dispatch plus a blocking syscall on
+		// the client machine's single processor; size the ramp so even
+		// the busiest pair finishes booting while everyone else sleeps.
+		maxPerPair := 0
+		for p := 0; p < pairs; p++ {
+			n := 0
+			for ti := range tenants {
+				n += placement[p][ti]
+			}
+			if n > maxPerPair {
+				maxPerPair = n
+			}
+		}
+		spec.Warmup = machine.Duration(5_000_000 + 250_000*maxPerPair)
+	}
+	res := &MTLoadResult{Spec: spec, Tenants: tenants, Placement: placement}
+
+	cfg := kern.Config{Flavor: flavor, Arch: arch}
+	var sessions []*mtSession
+	for p := 0; p < pairs; p++ {
+		a := kern.New(cfg)
+		b := kern.New(cfg)
+		dev.Connect(a.Net.NIC, b.Net.NIC, spec.Wire)
+		if spec.DebugChecks {
+			a.K.DebugChecks = true
+			b.K.DebugChecks = true
+		}
+		// A small ring keeps 256-machine traces affordable; histograms
+		// and the census are maintained online regardless.
+		ra := a.EnableObservation(512)
+		ra.SetHost(2 * p)
+		rb := b.EnableObservation(512)
+		rb.SetHost(2*p + 1)
+
+		onPair := 0
+		for ti := range tenants {
+			onPair += placement[p][ti]
+		}
+
+		st := b.NewTask("echo-server")
+		sport := b.IPC.NewPort("echo")
+		// Every session on the pair can land a request in the same
+		// wire-latency window.
+		sport.QueueLimit = 2 * (onPair + 1)
+		b.Net.Export("echo", sport)
+		for w := 0; w < spec.ServerWorkers; w++ {
+			name := "srv"
+			if w > 0 {
+				name = fmt.Sprintf("srv-%d", w)
+			}
+			b.Start(st.NewThread(name, &netEchoServer{sys: b, port: sport}, 20))
+		}
+
+		ct := a.NewTask("tenants")
+		for ti := range tenants {
+			tn := &tenants[ti]
+			bytes := tn.MsgBytes
+			if bytes < ipc.HeaderBytes {
+				bytes = ipc.HeaderBytes
+			}
+			for j := 0; j < placement[p][ti]; j++ {
+				s := &mtSession{
+					sys: a, tenant: tn, tenantIx: ti,
+					proxy: a.Net.ProxyFor("echo"),
+					reply: a.IPC.NewPort(fmt.Sprintf("rp-%d-%d", ti, j)),
+					rng: NewRNG(spec.Seed ^ uint64(p)<<40 ^
+						uint64(ti)<<20 ^ uint64(j)),
+					hist:     ra.Service("tenant " + tn.Name),
+					bytes:    bytes,
+					ops:      spec.Ops,
+					intended: a.K.Clock.Now() + machine.Time(spec.Warmup),
+				}
+				sessions = append(sessions, s)
+				a.Start(ct.NewThread(fmt.Sprintf("%s-%d", tn.Name, j), s, 10))
+			}
+		}
+
+		res.Machines = append(res.Machines, a, b)
+	}
+
+	cluster := kern.NewCluster(res.Machines...)
+	cluster.CrossCheck = spec.DebugChecks
+	start := res.Machines[0].K.Clock.Now()
+	res.Steps = cluster.Drive(spec.Parallel)
+	res.Elapsed = machine.Duration(res.Machines[0].K.Clock.Now() - start)
+	stampCensus(res.Machines)
+
+	res.PerTenant = make([]TenantStats, len(tenants))
+	for ti := range tenants {
+		res.PerTenant[ti] = TenantStats{
+			Name: tenants[ti].Name,
+			Hist: &obs.Histogram{Name: "tenant " + tenants[ti].Name},
+		}
+	}
+	for _, s := range sessions {
+		ts := &res.PerTenant[s.tenantIx]
+		ts.Sessions++
+		ts.Ops += uint64(s.done)
+		ts.Attained += uint64(s.attained)
+	}
+	for _, sys := range res.Machines {
+		r := sys.K.Obs
+		if r == nil {
+			continue
+		}
+		for _, h := range r.ServiceHistograms() {
+			for ti := range res.PerTenant {
+				if h.Name == res.PerTenant[ti].Hist.Name {
+					res.PerTenant[ti].Hist.Merge(h)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// WriteMTLoadReport prints the aggregate run report: the cluster
+// headline, the per-tenant latency and SLA-attainment table, the load
+// balancer's placement spread, and the cluster-wide memory census that
+// carries the space claim (stacks bounded by processors while blocked
+// threads scale with sessions). Aggregate-only by design — at hundreds
+// of machines, per-machine sections would drown the signal. Pure
+// function of the run.
+func WriteMTLoadReport(w io.Writer, res *MTLoadResult) {
+	spec := res.Spec
+	pairs := spec.Machines / 2
+	totalSessions := 0
+	for _, t := range res.Tenants {
+		totalSessions += t.Sessions
+	}
+	fmt.Fprintf(w, "multi-tenant load report\n")
+	fmt.Fprintf(w, "========================\n")
+	fmt.Fprintf(w, "machines %d (%d pairs), tenants %d, sessions %d, ops/session %d, server workers %d\n",
+		spec.Machines, pairs, len(res.Tenants), totalSessions, spec.Ops, spec.ServerWorkers)
+	fmt.Fprintf(w, "elapsed %s simulated, %d dispatcher steps\n\n",
+		obs.FmtNS(uint64(res.Elapsed)), res.Steps)
+
+	fmt.Fprintf(w, "%-14s %9s %9s  %-9s %-9s %-9s %-9s %s\n",
+		"tenant", "sessions", "ops", "p50", "p99", "max", "SLA", "attained")
+	for i := range res.PerTenant {
+		ts := &res.PerTenant[i]
+		tn := &res.Tenants[i]
+		attained := 100.0
+		if ts.Ops > 0 {
+			attained = 100 * float64(ts.Attained) / float64(ts.Ops)
+		}
+		p50, p99, max := "-", "-", "-"
+		if ts.Hist.Count > 0 {
+			p50 = obs.FmtNS(ts.Hist.Quantile(0.50))
+			p99 = obs.FmtNS(ts.Hist.Quantile(0.99))
+			max = obs.FmtNS(ts.Hist.Max)
+		}
+		fmt.Fprintf(w, "%-14s %9d %9d  %-9s %-9s %-9s %-9s %.1f%%\n",
+			ts.Name, ts.Sessions, ts.Ops, p50, p99, max,
+			obs.FmtNS(uint64(tn.SLA)), attained)
+	}
+
+	minS, maxS := -1, 0
+	for p := 0; p < pairs; p++ {
+		n := 0
+		for ti := range res.Tenants {
+			n += res.Placement[p][ti]
+		}
+		if minS < 0 || n < minS {
+			minS = n
+		}
+		if n > maxS {
+			maxS = n
+		}
+	}
+	if minS < 0 {
+		minS = 0
+	}
+	fmt.Fprintf(w, "\nload balancer: sessions per pair min %d / max %d (spread %d)\n",
+		minS, maxS, maxS-minS)
+
+	var stacks, blocked, live uint64
+	maxStacks := 0
+	for _, sys := range res.Machines {
+		mc := sys.MemoryCensus()
+		stacks += uint64(mc.StackHighWater)
+		blocked += uint64(mc.BlockedHighWater)
+		live += uint64(mc.LiveThreads)
+		if mc.StackHighWater > maxStacks {
+			maxStacks = mc.StackHighWater
+		}
+	}
+	fmt.Fprintf(w, "memory census (cluster): %d stacks high-water vs %d blocked threads high-water (%d live threads); max per-machine stacks %d\n",
+		stacks, blocked, live, maxStacks)
+}
+
+// MTLoadReport runs the workload and renders the report as a string —
+// the registry and machsim entry point.
+func MTLoadReport(flavor kern.Flavor, arch machine.Arch, spec MTLoadSpec) string {
+	res := RunMTLoad(flavor, arch, spec)
+	var b strings.Builder
+	WriteMTLoadReport(&b, res)
+	return b.String()
+}

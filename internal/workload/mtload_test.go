@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kern"
+	"repro/internal/machine"
+)
+
+// runMTLoadReport executes spec under the given GOMAXPROCS and returns
+// the aggregate report — the workload's determinism artifact.
+func runMTLoadReport(t *testing.T, spec MTLoadSpec, procs int) string {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	return MTLoadReport(kern.MK40, machine.ArchDS3100, spec)
+}
+
+// TestMTLoadParallelEquivalence checks the determinism contract at a
+// 16-machine scale: the report is byte-identical across sequential and
+// parallel drivers, GOMAXPROCS values, and same-seed reruns, with the
+// driver's naive-sweep cross-check armed throughout.
+func TestMTLoadParallelEquivalence(t *testing.T) {
+	spec := DefaultMTLoad()
+	spec.Machines = 16
+	spec.SessionsPerTenant = 60
+	spec.DebugChecks = true
+
+	want := runMTLoadReport(t, spec, 1)
+	if want == "" {
+		t.Fatal("baseline produced an empty report")
+	}
+	for _, procs := range []int{1, 4} {
+		for _, par := range []bool{false, true} {
+			if !par && procs == 1 {
+				continue
+			}
+			s := spec
+			s.Parallel = par
+			if got := runMTLoadReport(t, s, procs); got != want {
+				t.Errorf("parallel=%v GOMAXPROCS=%d: report differs from sequential baseline",
+					par, procs)
+			}
+		}
+	}
+	// Same-seed rerun in the same process: no hidden global state.
+	if got := runMTLoadReport(t, spec, 1); got != want {
+		t.Error("same-seed rerun differs from first run")
+	}
+}
+
+// TestMTLoadSpaceClaim pins the paper's space claim at cluster scale:
+// blocked sessions scale with the load while every machine's kernel
+// stack pool stays bounded by its processor count.
+func TestMTLoadSpaceClaim(t *testing.T) {
+	spec := DefaultMTLoad()
+	spec.Machines = 16
+	spec.SessionsPerTenant = 200 // 800 sessions across 8 pairs
+	res := RunMTLoad(kern.MK40, machine.ArchDS3100, spec)
+
+	var ops, attainable uint64
+	totalSessions := 0
+	for i := range res.PerTenant {
+		ops += res.PerTenant[i].Ops
+		attainable += uint64(res.PerTenant[i].Sessions * spec.Ops)
+		totalSessions += res.PerTenant[i].Sessions
+	}
+	if ops != attainable {
+		t.Fatalf("completed ops %d != sessions*ops %d — sessions stalled", ops, attainable)
+	}
+
+	var blocked uint64
+	maxStacks := 0
+	for _, sys := range res.Machines {
+		mc := sys.MemoryCensus()
+		blocked += uint64(mc.BlockedHighWater)
+		if mc.StackHighWater > maxStacks {
+			maxStacks = mc.StackHighWater
+		}
+	}
+	if blocked < uint64(totalSessions) {
+		t.Fatalf("blocked high-water %d < %d sessions: think sleeps are not blocking", blocked, totalSessions)
+	}
+	// Machines boot with one processor; a small constant covers the
+	// transient second stack a handoff or interrupt can pin.
+	if maxStacks > 4 {
+		t.Fatalf("max per-machine stack high-water %d at %d sessions: stacks not O(processors)",
+			maxStacks, totalSessions)
+	}
+}
+
+// TestMTLoadBalancerSpread checks the placement invariant the report
+// advertises: the greedy balancer keeps the per-pair session counts
+// within one of each other when every tenant's sessions divide evenly.
+func TestMTLoadBalancerSpread(t *testing.T) {
+	tenants := MakeTenants(3, 40)
+	counts := placeSessions(tenants, 8)
+	min, max := -1, 0
+	for p := range counts {
+		n := 0
+		for ti := range tenants {
+			n += counts[p][ti]
+		}
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("per-pair session spread %d (min %d, max %d), want <= 1", max-min, min, max)
+	}
+	total := 0
+	for p := range counts {
+		for ti := range tenants {
+			total += counts[p][ti]
+		}
+	}
+	if total != 3*40 {
+		t.Fatalf("placed %d sessions, want %d", total, 3*40)
+	}
+}
+
+// TestParallelEquivalenceManyMachines drives the netrpc workload at 64
+// machines — the shape where the sharded barrier and dirty-flush lists
+// matter — and requires byte-identical artifacts across drivers.
+func TestParallelEquivalenceManyMachines(t *testing.T) {
+	spec := DefaultNetRPC()
+	spec.Pairs = 32
+	spec.RPCs = 8
+	spec.DiskReads = 0
+	testParallelEquivalence(t, spec)
+}
+
+// TestLinkDelayFaultCrossCheck regresses the wire-cache contract under
+// the fault grammar's link=…:delay rule: a mid-run latency stretch adds
+// delay at transmit time, so the cached lookahead must stay a safe lower
+// bound — CrossCheck panics (failing the run) if the horizon ever
+// diverges from the full sweep, and the parallel driver must still match
+// the sequential one byte for byte.
+func TestLinkDelayFaultCrossCheck(t *testing.T) {
+	spec := DefaultNetRPC()
+	fs, err := fault.ParseSpec("link=0>1:delay:2ms@5ms+20ms")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	spec.FaultSeed = 7
+	spec.FaultSpec = fs
+	spec.DebugChecks = true // arms Cluster.CrossCheck in RunNetRPC
+	testParallelEquivalence(t, spec)
+}
+
+// TestRegistryIncludesMTLoad keeps the workload discoverable by name:
+// machsim and the determinism CI iterate the registry.
+func TestRegistryIncludesMTLoad(t *testing.T) {
+	for _, w := range Registry() {
+		if w.Name == "mtload" {
+			if rep := w.Report(false); !bytes.Contains([]byte(rep), []byte("multi-tenant load report")) {
+				t.Fatal("mtload registry report missing headline")
+			}
+			return
+		}
+	}
+	t.Fatal("registry has no mtload entry")
+}

@@ -248,6 +248,7 @@ func RunNetRPC(flavor kern.Flavor, arch machine.Arch, spec NetRPCSpec) *NetRPCRe
 	}
 	res, clis, pair0Readers := bootNetRPC(flavor, arch, spec)
 	cluster := kern.NewCluster(res.Machines...)
+	cluster.CrossCheck = spec.DebugChecks
 	start := res.Client.K.Clock.Now()
 	res.Steps = cluster.Drive(spec.Parallel)
 	for _, cli := range clis {

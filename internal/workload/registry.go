@@ -82,6 +82,16 @@ func Registry() []RegisteredWorkload {
 			WriteKVReport(&buf, kern.MK40, machine.ArchDS3100, res, NetRPCReportOptions{})
 			return buf.String()
 		}},
+		{Name: "mtload", Report: func(parallel bool) string {
+			// Registry-sized run: small cluster, few sessions, with the
+			// driver's naive-sweep cross-check armed so the determinism
+			// regression also exercises the incremental-horizon oracle.
+			spec := DefaultMTLoad()
+			spec.SessionsPerTenant = 20
+			spec.Parallel = parallel
+			spec.DebugChecks = true
+			return MTLoadReport(kern.MK40, machine.ArchDS3100, spec)
+		}},
 		{Name: "svcgraph", Report: func(parallel bool) string {
 			spec := DefaultSvcGraph()
 			spec.FaultSpec.Crashes = []fault.Crash{{

@@ -100,6 +100,7 @@ func (r *SvcGraphResult) ReplicaTotals() svc.ReplicaStats {
 func RunSvcGraph(flavor kern.Flavor, arch machine.Arch, spec SvcGraphSpec) *SvcGraphResult {
 	res, fronts := bootSvcGraph(flavor, arch, spec)
 	cluster := kern.NewCluster(res.Machines...)
+	cluster.CrossCheck = spec.DebugChecks
 	start := res.Machines[0].K.Clock.Now()
 	res.Steps = cluster.Drive(spec.Parallel)
 	for _, f := range fronts {

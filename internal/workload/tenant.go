@@ -1,0 +1,95 @@
+// Multi-tenant model for the open-loop load generator: a tenant is a
+// class of traffic (mean think time, response-time SLA, payload size)
+// running some number of client sessions, and the cluster-level load
+// balancer spreads those sessions across the client machines before the
+// run starts. Placement is part of the workload's deterministic setup —
+// same spec, same placement, same bytes.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// TenantSpec is one tenant's traffic class.
+type TenantSpec struct {
+	// Name labels the tenant in reports and histogram keys.
+	Name string
+	// Think is the mean open-loop gap between a session's arrivals; each
+	// session jitters it per-arrival with its own RNG stream.
+	Think machine.Duration
+	// SLA is the response-time target an op must meet to count as
+	// attained. Latency is charged from the *intended* arrival time, so
+	// a backlogged session cannot hide queueing delay (no coordinated
+	// omission).
+	SLA machine.Duration
+	// MsgBytes is the RPC payload size.
+	MsgBytes int
+	// Sessions is how many client sessions the tenant runs cluster-wide.
+	Sessions int
+}
+
+// tenantArchetypes are the traffic classes MakeTenants cycles through:
+// chatty latency-sensitive traffic, moderate web traffic, and bulk batch
+// traffic with a loose SLA.
+var tenantArchetypes = []TenantSpec{
+	{Name: "interactive", Think: 1_000_000, SLA: 4_000_000, MsgBytes: 128},
+	{Name: "web", Think: 2_000_000, SLA: 8_000_000, MsgBytes: 256},
+	{Name: "batch", Think: 5_000_000, SLA: 20_000_000, MsgBytes: 1024},
+}
+
+// MakeTenants builds k tenants by cycling the archetypes, each running
+// sessionsEach sessions. Names stay unique ("interactive", then
+// "interactive-3", ...) so histogram keys never collide.
+func MakeTenants(k, sessionsEach int) []TenantSpec {
+	tenants := make([]TenantSpec, k)
+	for i := 0; i < k; i++ {
+		t := tenantArchetypes[i%len(tenantArchetypes)]
+		if i >= len(tenantArchetypes) {
+			t.Name = fmt.Sprintf("%s-%d", t.Name, i)
+		}
+		t.Sessions = sessionsEach
+		tenants[i] = t
+	}
+	return tenants
+}
+
+// sessionRate is a session's arrival-rate weight for the balancer, in
+// integer arrivals-per-kilosecond so placement needs no floating point:
+// a chattier tenant (smaller think time) weighs more.
+func sessionRate(t *TenantSpec) uint64 {
+	think := uint64(t.Think)
+	if think == 0 {
+		think = 1
+	}
+	return 1_000_000_000_000 / think
+}
+
+// placeSessions is the cluster-level load balancer: it walks the
+// tenants' sessions in declaration order and assigns each to the
+// currently least-loaded machine pair (ties to the lowest pair index),
+// where load is the pair's summed session arrival rate. The result is
+// counts[pair][tenant] — how many of each tenant's sessions that pair's
+// client machine hosts.
+func placeSessions(tenants []TenantSpec, pairs int) [][]int {
+	counts := make([][]int, pairs)
+	for p := range counts {
+		counts[p] = make([]int, len(tenants))
+	}
+	load := make([]uint64, pairs)
+	for ti := range tenants {
+		rate := sessionRate(&tenants[ti])
+		for j := 0; j < tenants[ti].Sessions; j++ {
+			best := 0
+			for p := 1; p < pairs; p++ {
+				if load[p] < load[best] {
+					best = p
+				}
+			}
+			counts[best][ti]++
+			load[best] += rate
+		}
+	}
+	return counts
+}
