@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/overload"
 	"repro/internal/stats"
 	"repro/internal/threadmodel"
 	"repro/internal/workload"
@@ -434,6 +435,29 @@ func BenchmarkKVSpanOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, 1<<30) })
 	b.Run("on", func(b *testing.B) { run(b, 1) })
+}
+
+// BenchmarkKVOverloadOverhead measures the overload-control tax on a
+// healthy KV run — no faults, so nothing is actually shed and the cost
+// is pure bookkeeping: the deadline stamp in every message header, the
+// dequeue-time expiry check, the CoDel admission bookkeeping, and the
+// breaker/budget accounting around each reply. CI bounds the on/off
+// ns/op ratio (benchjson -max-ratio 1.2): controls you cannot afford to
+// leave on would never be left on in the storm's recovery arm.
+func BenchmarkKVOverloadOverhead(b *testing.B) {
+	run := func(b *testing.B, armed bool) {
+		spec := workload.DefaultKV()
+		if armed {
+			spec.Overload = overload.DefaultPolicy()
+		}
+		var res *workload.KVResult
+		for i := 0; i < b.N; i++ {
+			res = workload.RunKV(kern.MK40, machine.ArchDS3100, spec)
+		}
+		b.ReportMetric(float64(res.Completed), "ops")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // ---------------------------------------------------------------------

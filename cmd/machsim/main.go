@@ -12,6 +12,7 @@
 //	        [-machines n] [-tenants n] [-sessions n]
 //	        [-faults seed:spec] [-crash M@T[:reboot+N]]
 //	        [-fuzz seed:count] [-fuzzout dir] [-breakkv]
+//	        [-overload off|on[:k=v,...]] [-breakoverload]
 //	        [-check] [-trace out.json] [-profile] [-sample 1/N]
 //
 // Workloads:
@@ -43,6 +44,30 @@
 //     into the 10^5..10^6 range. -machines/-tenants/-sessions only make
 //     sense here, and the pair/fault flags of the other cluster
 //     workloads make no sense here; machsim rejects either mixture.
+//     Adding -overload switches mtload into the storm scenario (below).
+//
+// -overload arms the end-to-end overload controls on the kv and mtload
+// workloads: absolute deadlines propagated in the message headers (every
+// tier sheds dead work on dequeue), per-client retry budgets, CoDel-style
+// admission control at the cache and KV tiers, and a circuit breaker in
+// the clients. "on" uses the canonical policy; "on:deadline=8ms,budget=4"
+// overrides fields (keys: deadline, target, interval, budget, refill,
+// breaker, cooldown); a malformed spec exits 2 naming the offending
+// rule. Shed operations are definite no-ops: the linearizability checker
+// excludes them and -breakoverload runs the deliberately broken replica
+// that applies an already-expired write before claiming it was shed —
+// the phantom write the checker must flag.
+//
+// On mtload, -overload selects the storm scenario instead of the
+// balancer cluster: the 4-machine frontend/cache/KV chain under
+// open-loop session load with a canonical trigger (demand burst + cache
+// gray failure + link delay) that tips the uncontrolled system into a
+// metastable retry storm. `-overload off` runs the negative arm — the
+// report's verdict line reads METASTABLE when goodput stays collapsed
+// for five trigger durations after the trigger cleared — and `-overload
+// on` must read RECOVERED (90% of baseline goodput within two trigger
+// durations). -faults overrides the trigger schedule, -sessions the
+// open-loop session count; -machines/-tenants are rejected there.
 //
 // Shared cluster flags: -parallel drives the machines on one goroutine
 // each (output stays byte-identical to the sequential driver); -crash
@@ -66,7 +91,9 @@
 //   - link=S>D:delay[:X]@T+D stretches S->D wire latency by X (2ms if
 //     omitted);
 //   - gray=M:F@T+D runs machine M at 1/F speed — a gray failure: the
-//     machine is alive and answering, just pathologically slow.
+//     machine is alive and answering, just pathologically slow;
+//   - burst=F@T+D multiplies the open-loop offered load by F (demand-side:
+//     the storm and mtload sessions divide their think gaps by it).
 //
 // The kv workload records every client operation and checks the merged
 // history for per-key linearizability, plus a split-brain assertion over
@@ -122,6 +149,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -148,9 +176,16 @@ var (
 	machines     = flag.Int("machines", 8, "mtload: cluster size (even, >= 2)")
 	tenants      = flag.Int("tenants", 4, "mtload: tenant count")
 	sessions     = flag.Int("sessions", 0, "mtload: sessions per tenant (default 100 per machine)")
+	overloadFlag = flag.String("overload", "", "kv/mtload: overload controls, off|on[:key=value,...] (mtload: selects the storm scenario)")
+	breakOv      = flag.Bool("breakoverload", false, "kv/mtload: replicas apply already-expired writes before shedding them (checker must flag)")
 
 	// sampleEvery is the parsed -sample denominator (1 = keep everything).
 	sampleEvery = 1
+
+	// ovPolicy is the parsed -overload policy (zero value, Enabled false,
+	// when the flag is absent — armed workloads stay byte-identical to the
+	// legacy report in that case).
+	ovPolicy overload.Policy
 
 	// crashFlags collects the repeatable -crash flag's raw values; each is
 	// sugar for a crash=… rule in the -faults spec. The machine part may
@@ -205,21 +240,37 @@ func resolveCrashes(workloadName string) []fault.Crash {
 // mtloadOnlyFlags and clusterOnlyFlags partition the flags that bind to
 // one workload family: the first group only means something under
 // -workload mtload, the second only under the pair/fault workloads.
+// stormFlags are the cluster flags the mtload storm scenario (selected by
+// -overload) takes back: the storm has a real fault plane and traces.
 var (
 	mtloadOnlyFlags  = []string{"machines", "tenants", "sessions"}
 	clusterOnlyFlags = []string{
 		"pairs", "clients", "failover", "faults", "crash",
 		"fuzz", "fuzzout", "breakkv", "sample", "scale",
 	}
+	stormFlags = map[string]bool{"faults": true, "sample": true}
 )
 
 // validateWorkloadFlags rejects nonsensical flag combinations before any
 // machine boots: mtload-only sizing flags on other workloads, the
-// pair/fault flags on mtload, and mtload sizes that cannot describe a
-// cluster. set reports whether a flag appeared on the command line
-// (flagWasSet in production; a stub in tests).
+// pair/fault flags on mtload, overload flags on workloads with no
+// shedding tiers, and mtload sizes that cannot describe a cluster. set
+// reports whether a flag appeared on the command line (flagWasSet in
+// production; a stub in tests).
+//
+// -overload on mtload switches it into the storm scenario: a fixed
+// 4-machine frontend/cache/KV chain under open-loop session load, where
+// -faults names the trigger schedule and -sessions the open-loop session
+// count. The mtload sizing flags -machines/-tenants describe the
+// balancer cluster and mean nothing there.
 func validateWorkloadFlags(name string, machines, tenants, sessions int, set func(string) bool) error {
+	if set("breakoverload") && !set("overload") {
+		return fmt.Errorf("-breakoverload requires -overload (nothing sheds without it)")
+	}
 	if name != "mtload" {
+		if set("overload") && name != "kv" {
+			return fmt.Errorf("-overload only applies to -workload kv or mtload (got %q)", name)
+		}
 		for _, f := range mtloadOnlyFlags {
 			if set(f) {
 				return fmt.Errorf("-%s only applies to -workload mtload (got %q)", f, name)
@@ -227,10 +278,29 @@ func validateWorkloadFlags(name string, machines, tenants, sessions int, set fun
 		}
 		return nil
 	}
+	storm := set("overload")
 	for _, f := range clusterOnlyFlags {
-		if set(f) {
-			return fmt.Errorf("-%s does not apply to -workload mtload", f)
+		if !set(f) {
+			continue
 		}
+		if storm && stormFlags[f] {
+			continue
+		}
+		if storm {
+			return fmt.Errorf("-%s does not apply to the mtload storm scenario (-overload)", f)
+		}
+		return fmt.Errorf("-%s does not apply to -workload mtload", f)
+	}
+	if storm {
+		for _, f := range []string{"machines", "tenants"} {
+			if set(f) {
+				return fmt.Errorf("-%s does not apply to the mtload storm scenario (-overload); the storm topology is fixed, only -sessions sizes the load", f)
+			}
+		}
+		if set("sessions") && sessions < 1 {
+			return fmt.Errorf("-sessions must be >= 1, got %d", sessions)
+		}
+		return nil
 	}
 	if machines < 2 || machines%2 != 0 {
 		return fmt.Errorf("-machines must be even and >= 2, got %d", machines)
@@ -296,6 +366,15 @@ func main() {
 		sampleEvery = n
 	}
 
+	if flagWasSet("overload") {
+		p, err := overload.ParsePolicy(*overloadFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ovPolicy = p
+	}
+
 	faultSpec.Crashes = append(faultSpec.Crashes, resolveCrashes(*workloadName)...)
 
 	if *fuzzFlag != "" {
@@ -314,7 +393,11 @@ func main() {
 		runSvcGraph(flavor, arch, faultSeed, faultSpec)
 		return
 	case "mtload":
-		runMTLoad(flavor, arch)
+		if flagWasSet("overload") {
+			runStorm(flavor, arch, faultSeed, faultSpec)
+		} else {
+			runMTLoad(flavor, arch)
+		}
 		return
 	}
 
@@ -508,6 +591,8 @@ func runKV(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fa
 	spec.DebugChecks = *check
 	spec.Break = *breakKV
 	spec.SampleEvery = sampleEvery
+	spec.Overload = ovPolicy
+	spec.BreakOverload = *breakOv
 	res := workload.RunKV(flavor, arch, spec)
 
 	workload.WriteKVReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
@@ -535,6 +620,32 @@ func runSvcGraph(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultS
 	workload.WriteSvcGraphReport(os.Stdout, flavor, arch, res, workload.NetRPCReportOptions{
 		Faults: *faultsFlag != "" || len(faultSpec.Crashes) > 0, Check: *check,
 	})
+	emitClusterObservations(res.Machines)
+}
+
+// runStorm drives the mtload overload scenario: the svcgraph-shaped
+// chain under open-loop session load, with the canonical metastable
+// trigger unless -faults overrides it, and the -overload policy deciding
+// whether the cluster survives it.
+func runStorm(flavor kern.Flavor, arch machine.Arch, faultSeed uint64, faultSpec fault.Spec) {
+	spec := workload.DefaultStorm()
+	spec.Overload = ovPolicy
+	if flagWasSet("seed") {
+		spec.Seed = *seed
+	}
+	if *sessions > 0 {
+		spec.Sessions = *sessions
+	}
+	if *faultsFlag != "" {
+		spec.FaultSeed = faultSeed
+		spec.FaultSpec = faultSpec
+	}
+	spec.Parallel = *parallel
+	spec.DebugChecks = *check
+	spec.BreakOverload = *breakOv
+	spec.SampleEvery = sampleEvery
+	res := workload.RunStorm(flavor, arch, spec)
+	workload.WriteStormReport(os.Stdout, flavor, arch, res)
 	emitClusterObservations(res.Machines)
 }
 
@@ -576,6 +687,7 @@ func runFuzz(flavor kern.Flavor, arch machine.Arch) {
 		Flavor: flavor, Arch: arch,
 		Seed: seed, Count: count,
 		Parallel: *parallel, Break: *breakKV,
+		Overload: ovPolicy, BreakOverload: *breakOv,
 		OutDir: *fuzzOut, Out: os.Stdout,
 	})
 	if err != nil {

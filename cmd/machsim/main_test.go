@@ -52,6 +52,38 @@ func TestValidateWorkloadFlags(t *testing.T) {
 		{name: "scale on mtload", workload: "mtload", machines: 8, tenants: 4,
 			set: []string{"scale"}, wantErr: "-scale does not apply"},
 
+		{name: "overload on kv", workload: "kv", machines: 8, tenants: 4,
+			set: []string{"overload"}},
+		{name: "overload off on kv with faults", workload: "kv", machines: 8, tenants: 4,
+			set: []string{"overload", "faults", "check"}},
+		{name: "overload on netrpc", workload: "netrpc", machines: 8, tenants: 4,
+			set: []string{"overload"}, wantErr: "-overload only applies"},
+		{name: "overload on compile", workload: "compile", machines: 8, tenants: 4,
+			set: []string{"overload"}, wantErr: "-overload only applies"},
+		{name: "breakoverload without overload", workload: "kv", machines: 8, tenants: 4,
+			set: []string{"breakoverload"}, wantErr: "-breakoverload requires -overload"},
+		{name: "breakoverload armed kv", workload: "kv", machines: 8, tenants: 4,
+			set: []string{"overload", "breakoverload"}},
+		{name: "armed fuzz campaign", workload: "kv", machines: 8, tenants: 4,
+			set: []string{"overload", "fuzz", "breakoverload"}},
+
+		{name: "storm mode plain", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"overload"}},
+		{name: "storm mode with trigger and sessions", workload: "mtload", machines: 8, tenants: 4,
+			sessions: 24, set: []string{"overload", "faults", "sessions", "check", "parallel", "sample"}},
+		{name: "storm mode breakoverload", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"overload", "breakoverload"}},
+		{name: "storm mode rejects machines", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"overload", "machines"}, wantErr: "-machines does not apply to the mtload storm scenario"},
+		{name: "storm mode rejects tenants", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"overload", "tenants"}, wantErr: "-tenants does not apply to the mtload storm scenario"},
+		{name: "storm mode rejects fuzz", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"overload", "fuzz"}, wantErr: "-fuzz does not apply to the mtload storm scenario"},
+		{name: "storm mode rejects breakkv", workload: "mtload", machines: 8, tenants: 4,
+			set: []string{"overload", "breakkv"}, wantErr: "-breakkv does not apply to the mtload storm scenario"},
+		{name: "storm mode zero sessions set", workload: "mtload", machines: 8, tenants: 4,
+			sessions: 0, set: []string{"overload", "sessions"}, wantErr: "-sessions must be >= 1"},
+
 		{name: "odd machines", workload: "mtload", machines: 9, tenants: 4,
 			set: []string{"machines"}, wantErr: "must be even"},
 		{name: "too few machines", workload: "mtload", machines: 0, tenants: 4,

@@ -8,7 +8,10 @@
 //	traceview [-spans] trace.json
 //
 // -spans switches to the causal-trace view: per-machine span counts,
-// the critical-path attribution table (per-segment p50/p99 over the
+// a tally of ops shed by the overload controls (by reason — deadline,
+// retry-budget, breaker, or a tier's typed refusal — present only when
+// the run was armed with -overload and actually shed), the
+// critical-path attribution table (per-segment p50/p99 over the
 // sampled operations, plus the slowest ops decomposed segment by
 // segment), and the memory census the exporter stamped into the trace
 // metadata.

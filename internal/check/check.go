@@ -51,6 +51,14 @@ type Op struct {
 	Invoke machine.Time
 	Return machine.Time
 	Ok     bool
+	// Rejected marks a definite no-op: every attempt was refused by a
+	// typed overload fast-fail (expired / admission-rejected / breaker
+	// open) before any tier applied it, or never sent at all. Unlike a
+	// plain Ok=false put, a rejected put cannot have taken effect, so
+	// the checker excludes the op from the history entirely. A tier
+	// that services work and then claims it was shed breaks exactly
+	// this contract — and the checker flags the phantom write.
+	Rejected bool
 }
 
 func (o Op) String() string {
@@ -65,7 +73,9 @@ func (o Op) String() string {
 		}
 	}
 	status := "ok"
-	if !o.Ok {
+	if o.Rejected {
+		status = "rejected"
+	} else if !o.Ok {
 		status = "indet"
 	}
 	return fmt.Sprintf("c%d %s [%d,%d] %s", o.Client, body,
@@ -86,6 +96,7 @@ type Result struct {
 	Violations   []Violation
 	Keys         int // keys checked
 	Ops          int // ops considered (indeterminate gets excluded)
+	Rejected     int // definite no-ops excluded from every key's history
 	SkippedKeys  int // keys over the 64-op search bound (never counts as pass)
 }
 
@@ -104,12 +115,17 @@ func (r Result) String() string {
 const maxKeyOps = 64
 
 // Linearizable checks a whole history against the per-key register
-// model. Indeterminate gets are dropped (they constrain nothing);
+// model. Rejected ops are definite no-ops and excluded outright;
+// indeterminate gets are dropped (they constrain nothing);
 // indeterminate puts participate as maybe-applied writes.
 func Linearizable(h []Op) Result {
 	perKey := make(map[uint64][]Op)
 	var res Result
 	for _, o := range h {
+		if o.Rejected {
+			res.Rejected++
+			continue
+		}
 		if o.Kind == OpGet && !o.Ok {
 			continue
 		}

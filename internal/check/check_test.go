@@ -158,6 +158,50 @@ func TestSearchBound(t *testing.T) {
 	}
 }
 
+// A rejected put is a definite no-op: the checker excludes it outright,
+// so a later read must still see the prior value — and a rejected get
+// constrains nothing either.
+func TestRejectedOpsExcluded(t *testing.T) {
+	rejPut := check.Op{Client: 0, Kind: check.OpPut, Key: 1, Val: 9,
+		Invoke: 20, Return: 30, Rejected: true}
+	rejGet := check.Op{Client: 1, Kind: check.OpGet, Key: 1, Val: 999, Found: true,
+		Invoke: 32, Return: 34, Rejected: true}
+	h := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 0, 10, true),
+		rejPut,
+		rejGet,
+		op(1, check.OpGet, 1, 7, true, 40, 50, true),
+	}
+	r := check.Linearizable(h)
+	if !r.Linearizable {
+		t.Fatalf("rejected ops not excluded: %s", r)
+	}
+	if r.Rejected != 2 || r.Ops != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+// The exclusion's teeth: a tier that applies a write it claimed to shed
+// plants a value no included op wrote, and the later read observing it
+// must be flagged. This is the unit-level shape of the -breakoverload
+// negative control.
+func TestRejectedPhantomWriteFlagged(t *testing.T) {
+	rejPut := check.Op{Client: 0, Kind: check.OpPut, Key: 1, Val: 9,
+		Invoke: 20, Return: 30, Rejected: true}
+	h := []check.Op{
+		op(0, check.OpPut, 1, 7, false, 0, 10, true),
+		rejPut,
+		op(1, check.OpGet, 1, 9, true, 40, 50, true), // observes the shed write
+	}
+	r := check.Linearizable(h)
+	if r.Linearizable {
+		t.Fatal("phantom value from a rejected put not flagged")
+	}
+	if len(r.Violations) != 1 || r.Violations[0].Key != 1 {
+		t.Fatalf("violations = %+v", r.Violations)
+	}
+}
+
 func TestSplitBrain(t *testing.T) {
 	r0 := map[check.AckKey]uint64{
 		{Group: 0, Epoch: 1}: 5,

@@ -79,6 +79,12 @@ type Packet struct {
 	// receiving machine.
 	Trace  obs.TraceContext
 	SentAt machine.Time
+
+	// Deadline forwards the message's absolute overload-control
+	// deadline across the wire (zero when none). Like Trace it is part
+	// of the framing: the receiver re-stamps it onto the reconstructed
+	// message so every tier sees the same budget.
+	Deadline machine.Time
 }
 
 // ackBytes is the wire size of a bare acknowledgement packet.
@@ -582,6 +588,7 @@ func (n *Netmsg) forwardSink(e *core.Env, remote string, msg *ipc.Message, opts 
 		DstInc:    n.peerInc,
 		Trace:     msg.Trace,
 		SentAt:    n.Sub.K.Clock.Now(),
+		Deadline:  msg.Deadline,
 	}
 	// DstInc is stamped once, here: if the peer crashes and reboots while
 	// this packet is retransmitting, every retransmission still targets
@@ -854,6 +861,7 @@ func (n *Netmsg) deliver(e *core.Env, pkt *Packet) {
 	}
 	msg := n.X.NewMessage(pkt.OpID, pkt.Size, pkt.Body, reply)
 	msg.Trace = pkt.Trace
+	msg.Deadline = pkt.Deadline
 	if r := k.Obs; r != nil && pkt.Trace.Sampled() {
 		// The flight, recorded retroactively on arrival: transmit time
 		// traveled in the framing, both clocks share the cluster

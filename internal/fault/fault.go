@@ -47,15 +47,17 @@ type Spec struct {
 	// cluster, so one spec string can describe a multi-machine plan.
 	Crashes []Crash
 
-	// Partitions, Links and Grays are the scheduled topology faults
-	// (see topology.go): bidirectional splits between machine groups,
-	// asymmetric one-way link degradations, and machine-wide slowdowns.
-	// Like Crashes they are certainties with explicit windows, not
-	// probabilistic draws, so a spec carrying only topology rules keeps
-	// every machine's random stream untouched.
+	// Partitions, Links, Grays and Bursts are the scheduled topology
+	// faults (see topology.go): bidirectional splits between machine
+	// groups, asymmetric one-way link degradations, machine-wide
+	// slowdowns, and offered-load surges. Like Crashes they are
+	// certainties with explicit windows, not probabilistic draws, so a
+	// spec carrying only topology rules keeps every machine's random
+	// stream untouched.
 	Partitions []Partition
 	Links      []LinkFault
 	Grays      []Gray
+	Bursts     []Burst
 }
 
 // Crash is one scheduled whole-machine failure.
@@ -74,7 +76,8 @@ func (s Spec) Zero() bool {
 	return s.DeviceFailProb == 0 && s.DeviceSlowProb == 0 &&
 		s.DropProb == 0 && s.DupProb == 0 && s.DelayProb == 0 &&
 		len(s.Crashes) == 0 &&
-		len(s.Partitions) == 0 && len(s.Links) == 0 && len(s.Grays) == 0
+		len(s.Partitions) == 0 && len(s.Links) == 0 && len(s.Grays) == 0 &&
+		len(s.Bursts) == 0
 }
 
 // ParseSpec parses a comma-separated rule list:
@@ -96,6 +99,9 @@ func (s Spec) Zero() bool {
 //	link=S>D:delay:X@T+dur      delay every packet S->D by X
 //	gray=M:F@T+dur              stretch machine M's compute time by
 //	                            factor F (e.g. gray=1:8@40ms+30ms)
+//	burst=F@T+dur               multiply open-loop offered load by
+//	                            factor F — the overload trigger
+//	                            (e.g. burst=4@30ms+30ms)
 //
 // Errors name the offending rule by index and text, and a probabilistic
 // key may appear at most once (a repeated drop= is rejected, not
@@ -144,6 +150,13 @@ func ParseSpec(s string) (Spec, error) {
 				return fail("%v", err)
 			}
 			spec.Grays = append(spec.Grays, g)
+			continue
+		case "burst":
+			b, err := parseBurst(val)
+			if err != nil {
+				return fail("%v", err)
+			}
+			spec.Bursts = append(spec.Bursts, b)
 			continue
 		}
 		if seen[key] {
@@ -316,6 +329,22 @@ func parseGray(val string) (Gray, error) {
 	}
 	g.At, g.Dur = at, dur
 	return g, nil
+}
+
+// parseBurst parses "F@T+dur": an offered-load multiplier window. A
+// factor of 1 would be a no-op and is rejected; factors below 1 are
+// legal (a demand dip).
+func parseBurst(val string) (Burst, error) {
+	var b Burst
+	head, at, dur, err := parseWindow(val)
+	if err != nil {
+		return b, err
+	}
+	if b.Factor, err = strconv.ParseFloat(head, 64); err != nil || b.Factor <= 0 || b.Factor == 1 {
+		return b, fmt.Errorf("bad burst factor %q (want positive, != 1)", head)
+	}
+	b.At, b.Dur = at, dur
+	return b, nil
 }
 
 // ParseCrash parses one crash rule value "M@T" or "M@T:reboot+N" (the

@@ -70,6 +70,17 @@ type Gray struct {
 	Dur     machine.Duration
 }
 
+// Burst is one scheduled offered-load surge: for [At, At+Dur) open-loop
+// load generators multiply their arrival rate by Factor (think gaps
+// divide by it). It is the overload trigger — a demand-side fault,
+// where gray/link are supply-side — and like them it is a certainty
+// with an explicit window, touching no random stream.
+type Burst struct {
+	Factor float64
+	At     machine.Duration
+	Dur    machine.Duration
+}
+
 // inWindow reports whether now falls inside [at, at+dur).
 func inWindow(now machine.Time, at, dur machine.Duration) bool {
 	t := machine.Time(at)
@@ -82,18 +93,21 @@ type Topology struct {
 	Partitions []Partition
 	Links      []LinkFault
 	Grays      []Gray
+	Bursts     []Burst
 }
 
 // NewTopology compiles a spec's topology rules; nil when the spec has
 // none, so callers can gate all enforcement on a nil check.
 func NewTopology(spec Spec) *Topology {
-	if len(spec.Partitions) == 0 && len(spec.Links) == 0 && len(spec.Grays) == 0 {
+	if len(spec.Partitions) == 0 && len(spec.Links) == 0 && len(spec.Grays) == 0 &&
+		len(spec.Bursts) == 0 {
 		return nil
 	}
 	return &Topology{
 		Partitions: spec.Partitions,
 		Links:      spec.Links,
 		Grays:      spec.Grays,
+		Bursts:     spec.Bursts,
 	}
 }
 
@@ -168,6 +182,22 @@ func (t *Topology) Slowdown(m int, now machine.Time) float64 {
 	return f
 }
 
+// BurstAt returns the offered-load multiplier at time now (1 when no
+// burst window is active; overlapping windows multiply). Nil-safe.
+func (t *Topology) BurstAt(now machine.Time) float64 {
+	if t == nil {
+		return 1
+	}
+	f := 1.0
+	for i := range t.Bursts {
+		b := &t.Bursts[i]
+		if inWindow(now, b.At, b.Dur) {
+			f *= b.Factor
+		}
+	}
+	return f
+}
+
 // HasGray reports whether any gray window targets machine m — the
 // installer only pays the per-charge multiplier hook on machines that
 // need it.
@@ -204,6 +234,10 @@ func (t *Topology) Windows() []string {
 	for _, g := range t.Grays {
 		out = append(out, fmt.Sprintf("gray machine %d x%g at %s for %s",
 			g.Machine, g.Factor, fmtDur(g.At), fmtDur(g.Dur)))
+	}
+	for _, b := range t.Bursts {
+		out = append(out, fmt.Sprintf("burst x%g at %s for %s",
+			b.Factor, fmtDur(b.At), fmtDur(b.Dur)))
 	}
 	return out
 }

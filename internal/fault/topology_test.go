@@ -53,8 +53,19 @@ func TestParseSpecTopology(t *testing.T) {
 				t.Fatalf("gray = %+v", g)
 			}
 		}},
-		{"drop=0.1,partition=0|1@1ms+1ms,gray=0:2@1ms+1ms,link=0>1:drop@1ms+1ms", func(t *testing.T, s fault.Spec) {
-			if s.DropProb != 0.1 || len(s.Partitions) != 1 || len(s.Grays) != 1 || len(s.Links) != 1 {
+		{"burst=4@30ms+30ms", func(t *testing.T, s fault.Spec) {
+			b := s.Bursts[0]
+			if b.Factor != 4 || b.At != 30*ms || b.Dur != 30*ms {
+				t.Fatalf("burst = %+v", b)
+			}
+		}},
+		{"burst=0.5@30ms+30ms", func(t *testing.T, s fault.Spec) {
+			if s.Bursts[0].Factor != 0.5 { // a demand dip is legal
+				t.Fatalf("burst = %+v", s.Bursts[0])
+			}
+		}},
+		{"drop=0.1,partition=0|1@1ms+1ms,gray=0:2@1ms+1ms,link=0>1:drop@1ms+1ms,burst=4@1ms+1ms", func(t *testing.T, s fault.Spec) {
+			if s.DropProb != 0.1 || len(s.Partitions) != 1 || len(s.Grays) != 1 || len(s.Links) != 1 || len(s.Bursts) != 1 {
 				t.Fatalf("mixed spec = %+v", s)
 			}
 		}},
@@ -87,6 +98,12 @@ func TestParseSpecTopology(t *testing.T) {
 		"gray=1@40ms+30ms",           // no factor
 		"gray=1:0@40ms+30ms",         // zero factor
 		"gray=x:2@40ms+30ms",         // bad machine
+		"burst=4",                    // no window
+		"burst=@30ms+30ms",           // no factor
+		"burst=x@30ms+30ms",          // bad factor
+		"burst=0@30ms+30ms",          // zero factor
+		"burst=1@30ms+30ms",          // factor 1 is a no-op
+		"burst=-2@30ms+30ms",         // negative factor
 	}
 	for _, in := range bad {
 		if _, err := fault.ParseSpec(in); err == nil {
@@ -194,10 +211,33 @@ func TestTopologyQueries(t *testing.T) {
 		t.Fatalf("windows = %v", topo.Windows())
 	}
 
+	// Burst windows: a load multiplier over time, overlap multiplies.
+	bspec, err := fault.ParseSpec("burst=4@30ms+30ms,burst=2@50ms+5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	btopo := fault.NewTopology(bspec)
+	if f := btopo.BurstAt(at(29)); f != 1 {
+		t.Fatalf("burst before window = %v, want 1", f)
+	}
+	if f := btopo.BurstAt(at(30)); f != 4 {
+		t.Fatalf("burst at window start = %v, want 4", f)
+	}
+	if f := btopo.BurstAt(at(52)); f != 8 {
+		t.Fatalf("overlapping bursts = %v, want 8", f)
+	}
+	if f := btopo.BurstAt(at(60)); f != 1 {
+		t.Fatalf("burst after window = %v, want 1", f)
+	}
+	if len(btopo.Windows()) != 2 {
+		t.Fatalf("burst windows = %v", btopo.Windows())
+	}
+
 	// Nil-safety mirrors the nil *Plan contract.
 	var nilTopo *fault.Topology
 	if nilTopo.CutAt(0, 1, 0) || nilTopo.ExtraDelay(0, 1, 0) != 0 ||
-		nilTopo.Slowdown(0, 0) != 1 || nilTopo.HasGray(0) || nilTopo.Windows() != nil {
+		nilTopo.Slowdown(0, 0) != 1 || nilTopo.HasGray(0) || nilTopo.BurstAt(0) != 1 ||
+		nilTopo.Windows() != nil {
 		t.Fatal("nil topology not inert")
 	}
 	if fault.NewTopology(fault.Spec{DropProb: 0.5}) != nil {

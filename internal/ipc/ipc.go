@@ -113,6 +113,17 @@ type Message struct {
 	// the receiving thread on copy-out. Part of the header, so it
 	// crosses machines inside the netmsg framing too.
 	Trace obs.TraceContext
+
+	// Deadline is the absolute sim-time deadline the operation carries
+	// (overload control). Zero means none. Part of the header: the
+	// netmsg framing forwards it across machines, and every tier checks
+	// it on dequeue before spending service time.
+	Deadline machine.Time
+
+	// EnqueuedAt is when this buffer was minted (local sends) or
+	// rebuilt on arrival (remote delivery): the reference point for the
+	// queue-sojourn admission controller. Stamped by NewMessage.
+	EnqueuedAt machine.Time
 }
 
 // Port is a Mach port: a protected message queue with at most one
@@ -379,14 +390,15 @@ func (x *IPC) NewMessage(op uint32, size int, body any, reply *Port) *Message {
 		size = HeaderBytes
 	}
 	x.nextMsgID++
+	now := x.K.Clock.Now()
 	if n := len(x.msgFree); n > 0 {
 		m := x.msgFree[n-1]
 		x.msgFree[n-1] = nil
 		x.msgFree = x.msgFree[:n-1]
-		*m = Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply}
+		*m = Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply, EnqueuedAt: now}
 		return m
 	}
-	return &Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply}
+	return &Message{ID: x.nextMsgID, OpID: op, Size: size, Body: body, Reply: reply, EnqueuedAt: now}
 }
 
 // FreeMessage returns a consumed message to the subsystem's pool — the

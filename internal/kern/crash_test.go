@@ -374,6 +374,136 @@ func TestReaperReleasesHaltedThreadResources(t *testing.T) {
 	sys.K.MustValidate()
 }
 
+// refusingServer receives one request and answers it with a typed
+// overload refusal instead of servicing it — the admission-reject shape
+// every shedding tier uses. The request buffer is freed on dequeue, the
+// refusal is a fresh pooled message.
+type refusingServer struct {
+	sys    *kern.System
+	port   *ipc.Port
+	served bool
+}
+
+func (s *refusingServer) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := s.sys.IPC.Received(t); m != nil {
+		reply := m.Reply
+		s.sys.IPC.FreeMessage(m)
+		s.served = true
+		return core.Syscall("refuse", func(e *core.Env) {
+			rm := s.sys.IPC.NewMessage(2, 128, "rejected:admission", nil)
+			s.sys.IPC.MachMsg(e, ipc.MsgOptions{Send: rm, SendTo: reply})
+		})
+	}
+	if s.served {
+		return core.Exit()
+	}
+	return core.Syscall("recv", func(e *core.Env) {
+		s.sys.IPC.MachMsg(e, ipc.MsgOptions{ReceiveFrom: s.port})
+	})
+}
+
+// shedCaller sends one op and waits for the reply. On seeing the typed
+// refusal it exits still owning the delivered buffer — a shed session
+// tearing down without a drain pass. With timeout set it instead parks
+// on the receive with an armed callout, the shape a deadline-expired
+// caller is aborted out of.
+type shedCaller struct {
+	sys     *kern.System
+	svc     *ipc.Port
+	reply   *ipc.Port
+	timeout machine.Duration
+	sent    bool
+	got     string
+}
+
+func (c *shedCaller) Next(e *core.Env, t *core.Thread) core.Action {
+	if m := c.sys.IPC.Received(t); m != nil {
+		c.got, _ = m.Body.(string)
+		// Deliberately neither freed nor consumed: the shed path exits
+		// owning the refusal buffer.
+		return core.Exit()
+	}
+	if c.sent {
+		return core.Exit()
+	}
+	c.sent = true
+	return core.Syscall("call", func(e *core.Env) {
+		m := c.sys.IPC.NewMessage(1, 128, "op", c.reply)
+		c.sys.IPC.MachMsg(e, ipc.MsgOptions{
+			Send: m, SendTo: c.svc,
+			ReceiveFrom: c.reply, RcvTimeout: c.timeout,
+		})
+	})
+}
+
+// TestReaperReleasesRejectedCallerResources extends the residue
+// assertion to the overload rejection paths: a caller that exits owning
+// a typed refusal reply, and one aborted out of a blocked receive with
+// its timeout callout still armed, must both reap to zero residue — the
+// pooled buffer and the waiter registration go back to the free lists,
+// so shedding under overload cannot leak pool objects.
+func TestReaperReleasesRejectedCallerResources(t *testing.T) {
+	sys := kern.New(kern.Config{Flavor: kern.MK40, Arch: machine.ArchDS3100})
+	sys.K.DebugChecks = true
+
+	// Path 1: refusal delivered, caller exits owning the buffer.
+	svcPort := sys.IPC.NewPort("svc")
+	srv := &refusingServer{sys: sys, port: svcPort}
+	st := sys.NewTask("srv")
+	sys.Start(st.NewThread("server", srv, 20))
+	ct := sys.NewTask("cli")
+	shed := &shedCaller{sys: sys, svc: svcPort, reply: sys.IPC.NewPort("cli-reply")}
+	shedTh := ct.NewThread("shed", shed, 10)
+	sys.Start(shedTh)
+	sys.Run(0)
+
+	if shed.got != "rejected:admission" {
+		t.Fatalf("caller got %q, want the typed refusal", shed.got)
+	}
+	if res := sys.IPC.Residue(shedTh); res != 0 {
+		t.Fatalf("shed caller still owns %d IPC resources", res)
+	}
+
+	// Path 2: caller parked on a dead service with an armed receive
+	// timeout; the shed decision aborts it mid-wait. The registration
+	// must be cancelled and its callout disarmed.
+	dead := sys.IPC.NewPort("dead-svc")
+	aband := &shedCaller{sys: sys, svc: dead, reply: sys.IPC.NewPort("aband-reply"),
+		timeout: machine.Duration(1_000_000_000)}
+	abandTh := ct.NewThread("abandoned", aband, 10)
+	sys.Start(abandTh)
+	// Run up to a probe tick placed well short of the receive timeout:
+	// the idle clock jumps event-to-event, so without the tick a bounded
+	// Run would overshoot straight into the timeout firing. At the tick
+	// the caller is parked with the callout still armed.
+	tick := sys.K.Clock.Now() + machine.Duration(1e6)
+	sys.K.Clock.After(machine.Duration(1e6), "park-probe", func() {})
+	sys.Run(tick)
+	if abandTh.State != core.StateWaiting {
+		t.Fatalf("abandoned caller state = %v, want waiting", abandTh.State)
+	}
+	armed := sys.K.Clock.Pending()
+	if !sys.ThreadAbort(abandTh) {
+		t.Fatal("ThreadAbort refused the parked caller")
+	}
+	// The receive timeout must be disarmed synchronously with the abort
+	// (background housekeeping events stay, so compare, don't expect 0).
+	if got := sys.K.Clock.Pending(); got != armed-1 {
+		t.Fatalf("armed callouts %d -> %d; receive timeout not disarmed", armed, got)
+	}
+	sys.Run(0)
+	if abandTh.State != core.StateHalted {
+		t.Fatalf("abandoned caller state = %v, want halted", abandTh.State)
+	}
+	if res := sys.IPC.Residue(abandTh); res != 0 {
+		t.Fatalf("aborted caller still owns %d IPC resources", res)
+	}
+	if sys.Reaped < 3 {
+		t.Fatalf("Reaped = %d, want >= 3", sys.Reaped)
+	}
+	sys.K.MustValidate()
+}
+
 // TestWatchdogNoSpuriousStallAfterCrashReboot: a machine that crashes
 // while the stall detector is armed must not fire a spurious stall in
 // the rebooted incarnation. The pre-crash stuck queue died with the old

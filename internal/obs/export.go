@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/machine"
 )
@@ -389,10 +390,43 @@ func SummarizeSpans(data []byte) (string, error) {
 	for _, m := range machines {
 		fmt.Fprintf(&b, "  machine %d: %d spans\n", m.PID, len(m.Spans))
 	}
+	writeShedSection(&b, all)
 	b.WriteString("\n")
 	WriteCritPath(&b, AnalyzeCritPath(all))
 	writeCensusSection(&b, data)
 	return b.String(), nil
+}
+
+// writeShedSection tallies op spans that closed on an overload shed
+// (Detail "shed:<reason>" — deadline, expired, rejected, retry-budget,
+// breaker) so the spanview shows where an armed run refused work.
+// Silent when nothing shed, which keeps unarmed span summaries
+// unchanged.
+func writeShedSection(b *bytes.Buffer, all []Span) {
+	shed := make(map[string]int)
+	for _, sp := range all {
+		if strings.HasPrefix(sp.Detail, "shed:") {
+			shed[strings.TrimPrefix(sp.Detail, "shed:")]++
+		}
+	}
+	if len(shed) == 0 {
+		return
+	}
+	reasons := make([]string, 0, len(shed))
+	n := 0
+	for r, c := range shed {
+		reasons = append(reasons, r)
+		n += c
+	}
+	sort.Strings(reasons)
+	fmt.Fprintf(b, "shed ops: %d (", n)
+	for i, r := range reasons {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %d", r, shed[r])
+	}
+	b.WriteString(")\n")
 }
 
 // writeCensusSection echoes the exported per-machine memory census, when

@@ -221,3 +221,45 @@ func TestSummarizeNoRecoverySectionWhenClean(t *testing.T) {
 		t.Fatalf("clean trace grew a recovery section:\n%s", out)
 	}
 }
+
+// TestSummarizeSpansShedSection: op spans closed with a "shed:<reason>"
+// detail are tallied by reason in the spanview header; traces with no
+// shed spans keep their historical shape.
+func TestSummarizeSpansShedSection(t *testing.T) {
+	clock := machine.NewClock()
+	r := NewRecorder(clock, 128)
+	r.RecordSpan(Span{Trace: 7, ID: 1, Name: "kv.op", Seg: SegQueue,
+		Detail: "shed:deadline", Start: 0, End: 100})
+	r.RecordSpan(Span{Trace: 8, ID: 1, Name: "kv.op", Seg: SegQueue,
+		Detail: "shed:breaker", Start: 0, End: 50})
+	r.RecordSpan(Span{Trace: 9, ID: 1, Name: "kv.op", Seg: SegQueue,
+		Detail: "shed:deadline", Start: 10, End: 60})
+	r.RecordSpan(Span{Trace: 10, ID: 1, Name: "kv.op", Seg: SegQueue,
+		Start: 0, End: 200})
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out, err := SummarizeSpans(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shed ops: 3 (breaker 1, deadline 2)") {
+		t.Fatalf("missing shed section:\n%s", out)
+	}
+
+	buf.Reset()
+	clean := NewRecorder(machine.NewClock(), 128)
+	clean.RecordSpan(Span{Trace: 7, ID: 1, Name: "kv.op", Seg: SegQueue,
+		Start: 0, End: 100})
+	if err := WriteChrome(&buf, clean); err != nil {
+		t.Fatal(err)
+	}
+	out, err = SummarizeSpans(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "shed ops:") {
+		t.Fatalf("clean trace grew a shed section:\n%s", out)
+	}
+}

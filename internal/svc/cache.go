@@ -8,6 +8,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/overload"
 )
 
 // CachePortName is the wire name the cache tier exports.
@@ -46,6 +47,15 @@ type CacheConfig struct {
 	IdleExit machine.Duration
 	Stats    *CacheStats
 
+	// Overload arms the cache-tier overload controls when Enabled: the
+	// deadline check and a CoDel admission controller (shared by the
+	// worker pool — they share one queue) run on every dequeued
+	// request, and the incoming deadline is propagated onto the
+	// embedded KV fetch so the backend can shed the same op. Ov is the
+	// tier's shedding scoreboard.
+	Overload overload.Policy
+	Ov       *overload.Stats
+
 	// Durable done bits, for the same reason the replica's are durable:
 	// an exited frontend never resends its done.
 	done     []bool
@@ -73,6 +83,10 @@ type cacheShared struct {
 	entries      map[uint64]uint64
 	ring         []uint64
 	lastActivity machine.Time
+
+	// codel gates admission over the shared port's queue sojourn; one
+	// controller for the pool because the queue is one queue.
+	codel overload.CoDel
 }
 
 // install puts (or refreshes) one entry, evicting in FIFO insert order
@@ -100,6 +114,9 @@ func InstallCache(s *kern.System, cfg *CacheConfig) {
 	if cfg.Stats == nil {
 		cfg.Stats = &CacheStats{}
 	}
+	if cfg.Ov == nil {
+		cfg.Ov = &overload.Stats{}
+	}
 	if cfg.done == nil {
 		cfg.done = make([]bool, cfg.Frontends)
 		cfg.doneLeft = cfg.Frontends
@@ -111,6 +128,7 @@ func InstallCache(s *kern.System, cfg *CacheConfig) {
 	sh := &cacheShared{
 		entries:      make(map[uint64]uint64),
 		lastActivity: s.K.Clock.Now(),
+		codel:        overload.CoDel{Target: cfg.Overload.Target, Interval: cfg.Overload.Interval},
 	}
 	task := s.NewTask("cache")
 	port := s.IPC.NewPort(CachePortName)
@@ -225,6 +243,7 @@ func (w *cacheWorker) handle(m *ipc.Message) {
 	req, ok := m.Body.(*Wire)
 	reply := m.Reply
 	ctx := m.Trace
+	deadline, enq := m.Deadline, m.EnqueuedAt
 	w.sys.IPC.FreeMessage(m)
 	if !ok {
 		return
@@ -247,6 +266,27 @@ func (w *cacheWorker) handle(m *ipc.Message) {
 		if reply == nil {
 			return
 		}
+		if w.cfg.Overload.Enabled {
+			// The dequeue gates: dead work is shed even when it would
+			// hit (the client is long gone), and admission is refused
+			// while the shared queue's sojourn stays over target — a
+			// cheap typed reply instead of a backend fetch.
+			if deadline != 0 && now >= deadline {
+				w.cfg.Ov.Expired++
+				w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit,
+					w:     &Wire{Kind: MsgCacheReply, OpID: req.OpID, Expired: true},
+					trace: ctx, at: now}
+				return
+			}
+			if !w.sh.codel.Admit(now, enq) {
+				w.cfg.Ov.Rejected++
+				w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit,
+					w:     &Wire{Kind: MsgCacheReply, OpID: req.OpID, Rejected: true},
+					trace: ctx, at: now}
+				return
+			}
+			w.cfg.Ov.Admitted++
+		}
 		if req.Op == OpGet {
 			if val, ok := w.sh.entries[req.Key]; ok {
 				w.cfg.Stats.Hits++
@@ -266,8 +306,13 @@ func (w *cacheWorker) handle(m *ipc.Message) {
 		w.curAt = now
 		w.inKV = true
 		// The backend fetch continues the frontend's trace: the embedded
-		// caller's operation becomes a child span of this request.
+		// caller's operation becomes a child span of this request, and
+		// it inherits the request's remaining deadline budget so the KV
+		// tier sheds the same dead work.
 		w.kv.Ctx = ctx
+		if w.cfg.Overload.Enabled && deadline != 0 {
+			w.kv.NextDeadline = deadline
+		}
 		w.kv.StartOp(KVOp{Op: req.Op, Key: req.Key, Val: req.Val})
 	}
 }
@@ -278,6 +323,14 @@ func (w *cacheWorker) finishKV() {
 	w.cur, w.curReply, w.curCtx = nil, nil, obs.TraceContext{}
 	w.kv.Ctx = obs.TraceContext{}
 	out := &Wire{Kind: MsgCacheReply, OpID: req.OpID, Key: req.Key}
+	if !w.kv.LastOK && (w.kv.LastExpired || w.kv.LastRejected) {
+		// Relay the backend's typed refusal upstream: the frontend
+		// learns its op was a definite no-op, not a mystery timeout.
+		out.Expired, out.Rejected = w.kv.LastExpired, w.kv.LastRejected
+		w.pend = &outbound{to: reply, opid: req.OpID | ReplyOpBit, w: out,
+			trace: ctx, at: w.sys.K.Clock.Now()}
+		return
+	}
 	if req.Op == OpGet {
 		if w.kv.LastOK && w.kv.LastFound {
 			w.sh.install(w.cfg, req.Key, w.kv.LastVal)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/overload"
 )
 
 // DefaultCallTimeout is a caller's per-attempt receive timeout: long
@@ -71,6 +72,10 @@ type Caller struct {
 	Links [NumRanks]int
 	// Timeout overrides the per-attempt receive timeout when nonzero.
 	Timeout machine.Duration
+	// MaxAttempts overrides CallerMaxAttempts when nonzero — the storm
+	// sessions lower it so a collapsed run's abandoned backlog still
+	// drains in bounded simulated time.
+	MaxAttempts int
 	// Port overrides the wire name the caller targets (PortName if empty)
 	// — the service-graph frontends aim at the cache tier's port instead.
 	Port string
@@ -104,10 +109,40 @@ type Caller struct {
 	// frontend's trace follows the miss path down to the KV group.
 	Ctx obs.TraceContext
 
+	// Overload arms the client-side overload controls when Enabled:
+	// per-op absolute deadlines stamped into the message header (and
+	// enforced locally before each attempt), the retry budget spent per
+	// retransmission, and the circuit breaker consulted before every
+	// send. Nil or disabled leaves every legacy path untouched.
+	Overload *overload.Policy
+	// Budget is the per-client retry token bucket (armed runs only):
+	// retransmits beyond the first attempt spend a token, and an empty
+	// bucket fast-fails the op instead of amplifying offered load.
+	Budget *overload.RetryBudget
+	// Breaker is the frontend circuit breaker (armed runs only).
+	Breaker *overload.Breaker
+	// OvStats is the client tier's shedding scoreboard, shared across a
+	// machine's callers (armed runs only).
+	OvStats *overload.Stats
+	// IntendedStart, when nonzero, is the operation's intended open-loop
+	// arrival time: latency accounting charges from it instead of the
+	// first attempt's send, so a backlogged session cannot fake an SLA
+	// win via coordinated omission. Set per op by the session host.
+	IntendedStart machine.Time
+	// NextDeadline, when nonzero, overrides the next operation's
+	// absolute deadline — a host tier propagating an inherited budget
+	// downstream (the cache worker's embedded fetch). Consumed at op
+	// start.
+	NextDeadline machine.Time
+
 	// Last* report the most recently completed one-shot operation.
-	LastOK    bool
-	LastFound bool
-	LastVal   uint64
+	// LastExpired/LastRejected type a failed one so the host tier can
+	// relay the refusal upstream.
+	LastOK       bool
+	LastFound    bool
+	LastVal      uint64
+	LastExpired  bool
+	LastRejected bool
 
 	reply    *ipc.Port
 	believed []int
@@ -127,6 +162,15 @@ type Caller struct {
 	trace     obs.TraceContext
 	opSerial  uint64
 	attemptAt machine.Time
+
+	// deadline is the in-flight operation's absolute deadline (zero:
+	// none); opRefused holds while every finished attempt was
+	// definitively refused before application (typed fast-fail reply,
+	// or never sent) — a timeout clears it, because that attempt's fate
+	// is unknown. A failed op with opRefused still true is recorded as
+	// a definite no-op for the checker.
+	deadline  machine.Time
+	opRefused bool
 
 	sendAct  core.Action
 	drainAct core.Action
@@ -222,6 +266,7 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 			// Stamp both the message and the thread explicitly: the
 			// thread may still carry the previous operation's context.
 			msg.Trace = c.trace
+			msg.Deadline = c.deadline
 			e.Cur().Trace = c.trace
 			c.Sys.IPC.MachMsg(e, ipc.MsgOptions{
 				Send: msg, SendTo: c.target(),
@@ -248,6 +293,28 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 			switch {
 			case w == nil:
 				// Malformed reply; retry.
+			case (w.Expired || w.Rejected) && c.phase == phaseOps:
+				// A typed overload refusal: some tier shed the op before
+				// applying anything, so this attempt is a definite no-op
+				// and opRefused survives. The refusal counts against the
+				// breaker; Expired means the deadline itself is dead, so
+				// give up now rather than burn budget on a corpse. A
+				// Rejected op retries through the budget gate below —
+				// but a budget-less caller has no way to pace those
+				// retries, so it sheds at once instead of spinning at
+				// RTT speed.
+				c.breakerFailure()
+				if w.Expired {
+					if c.OvStats != nil {
+						c.OvStats.Expired++
+					}
+					c.shed(t, "expired")
+				} else if c.Budget == nil {
+					if c.OvStats != nil {
+						c.OvStats.Rejected++
+					}
+					c.shed(t, "rejected")
+				}
 			case w.NotLeader && c.phase == phaseOps:
 				g := c.group()
 				if w.Leader >= 0 && w.Leader < NumRanks && w.Leader != c.believed[g] {
@@ -255,6 +322,7 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 					c.Stats.Redirects++
 				}
 			default:
+				c.breakerSuccess()
 				c.complete(w, t)
 			}
 		} else {
@@ -289,18 +357,71 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 					Start: c.attemptAt, End: c.Sys.K.Clock.Now(),
 				})
 			}
-			if c.attempts >= CallerMaxAttempts {
+			if c.phase == phaseOps {
+				// The attempt vanished: its fate at the servers is
+				// unknown, so the op can no longer be a definite no-op.
+				c.opRefused = false
+				c.breakerFailure()
+			}
+			max := CallerMaxAttempts
+			if c.MaxAttempts > 0 {
+				max = c.MaxAttempts
+			}
+			if c.attempts >= max {
 				c.abandon(t)
 			}
 			c.waiting = false
 		}
 	}
-	if !c.waiting && (c.phase == phaseExit || c.phase == phaseParked) {
-		return core.Action{}, true
-	}
-	if c.attempts == 0 {
-		c.started = c.Sys.K.Clock.Now()
-		c.mintOp()
+	for {
+		if !c.waiting && (c.phase == phaseExit || c.phase == phaseParked) {
+			return core.Action{}, true
+		}
+		if c.attempts == 0 {
+			c.started = c.Sys.K.Clock.Now()
+			c.mintOp()
+			if c.phase == phaseOps {
+				c.deadline = 0
+				c.opRefused = true
+				if c.NextDeadline != 0 {
+					c.deadline = c.NextDeadline
+					c.NextDeadline = 0
+				} else if c.armed() {
+					c.deadline = c.started + machine.Time(c.Overload.Deadline)
+				}
+			}
+		}
+		if c.phase != phaseOps || (c.deadline == 0 && !c.armed()) {
+			break
+		}
+		// Overload gates, cheapest first: a dead deadline (the op cannot
+		// be answered in budget no matter what), then the retry budget
+		// (the first attempt is free), then the breaker. A shed op fails
+		// fast and the loop moves on to the next one — fast local errors
+		// instead of a slow retransmit storm.
+		now := c.Sys.K.Clock.Now()
+		if c.deadline != 0 && now >= c.deadline {
+			if c.OvStats != nil {
+				c.OvStats.Expired++
+			}
+			c.shed(t, "deadline")
+			continue
+		}
+		if c.attempts > 0 && c.Budget != nil && !c.Budget.Take(now) {
+			if c.OvStats != nil {
+				c.OvStats.BudgetDenied++
+			}
+			c.shed(t, "retry-budget")
+			continue
+		}
+		if c.Breaker != nil && !c.Breaker.Allow(now) {
+			if c.OvStats != nil {
+				c.OvStats.BreakerFastFail++
+			}
+			c.shed(t, "breaker")
+			continue
+		}
+		break
 	}
 	c.attemptAt = c.Sys.K.Clock.Now()
 	c.attempts++
@@ -310,6 +431,27 @@ func (c *Caller) Step(e *core.Env, t *core.Thread) (core.Action, bool) {
 		c.opid = 1
 	}
 	return c.sendAct, false
+}
+
+// armed reports whether the client-side overload controls are on.
+func (c *Caller) armed() bool { return c.Overload != nil && c.Overload.Enabled }
+
+// breakerFailure feeds a failed attempt to the breaker, counting the
+// closed->open edge.
+func (c *Caller) breakerFailure() {
+	if c.Breaker == nil || c.phase != phaseOps {
+		return
+	}
+	if c.Breaker.Failure(c.Sys.K.Clock.Now()) && c.OvStats != nil {
+		c.OvStats.BreakerOpens++
+	}
+}
+
+// breakerSuccess feeds a completed round trip to the breaker.
+func (c *Caller) breakerSuccess() {
+	if c.Breaker != nil && c.phase == phaseOps {
+		c.Breaker.Success()
+	}
 }
 
 // mintOp establishes the new operation's trace context: a child of the
@@ -387,7 +529,7 @@ func (c *Caller) complete(w *Wire, t *core.Thread) {
 	now := c.Sys.K.Clock.Now()
 	if c.HistName != "" {
 		if r := c.Sys.K.Obs; r != nil {
-			r.Service(c.HistName).Observe(uint64(now - c.started))
+			r.Service(c.HistName).Observe(uint64(now - c.chargeFrom()))
 		}
 	}
 	// The span closes on the same [started, now] pair the histogram
@@ -401,6 +543,7 @@ func (c *Caller) complete(w *Wire, t *core.Thread) {
 		})
 	}
 	c.LastOK, c.LastFound, c.LastVal = true, w.Found, w.Val
+	c.LastExpired, c.LastRejected = false, false
 	if c.Track {
 		if op.Op == OpGet {
 			if want, ok := c.acked[op.Key]; ok && (!w.Found || w.Val != want) {
@@ -424,6 +567,7 @@ func (c *Caller) abandon(t *core.Thread) {
 		return
 	}
 	c.Stats.Failed++
+	c.observeFail()
 	c.finishSpan(t, c.Sys.K.Clock.Now(), "abandoned")
 	if c.Record {
 		op := c.Ops[c.idx]
@@ -433,12 +577,69 @@ func (c *Caller) abandon(t *core.Thread) {
 		})
 	}
 	c.LastOK, c.LastFound = false, false
+	c.LastExpired, c.LastRejected = false, false
 	if c.Track && c.Ops[c.idx].Op == OpPut {
 		// The write may or may not have landed; the key proves nothing
 		// about later reads anymore.
 		delete(c.acked, c.Ops[c.idx].Key)
 	}
 	c.advance()
+}
+
+// shed fails the current operation fast with a typed overload outcome —
+// deadline dead, retry budget empty, breaker open, or a tier's typed
+// refusal. Unlike abandon, a shed op whose every finished attempt was
+// definitively refused (opRefused) is recorded as a definite no-op: the
+// checker may exclude it from the history outright, and an acked-put
+// key stays trusted because the refused write cannot have landed.
+func (c *Caller) shed(t *core.Thread, why string) {
+	if c.phase != phaseOps {
+		return
+	}
+	c.Stats.Failed++
+	c.observeFail()
+	c.finishSpan(t, c.Sys.K.Clock.Now(), "shed:"+why)
+	if c.Record {
+		op := c.Ops[c.idx]
+		c.History = append(c.History, check.Op{
+			Client: c.ID, Kind: histKind(op.Op), Key: op.Key, Val: op.Val,
+			Invoke: c.started, Return: c.Sys.K.Clock.Now(), Ok: false,
+			Rejected: c.opRefused,
+		})
+	}
+	c.LastOK, c.LastFound = false, false
+	c.LastExpired = why == "deadline" || why == "expired"
+	c.LastRejected = !c.LastExpired
+	if c.Track && !c.opRefused && c.Ops[c.idx].Op == OpPut {
+		delete(c.acked, c.Ops[c.idx].Key)
+	}
+	c.advance()
+}
+
+// chargeFrom is the instant latency accounting charges an operation
+// from: the intended open-loop arrival when the session host set one,
+// the first attempt's send otherwise.
+func (c *Caller) chargeFrom() machine.Time {
+	if c.IntendedStart != 0 {
+		return c.IntendedStart
+	}
+	return c.started
+}
+
+// observeFail charges a failed operation's whole disposition to the
+// dedicated failure-outcome histogram (HistName + ".fail"), from the
+// intended arrival — shedding must not fake an SLA win by dropping the
+// op from the latency record (coordinated omission). Armed runs only,
+// so legacy reports are untouched.
+func (c *Caller) observeFail() {
+	if !c.armed() || c.HistName == "" {
+		return
+	}
+	r := c.Sys.K.Obs
+	if r == nil {
+		return
+	}
+	r.Service(c.HistName + ".fail").Observe(uint64(c.Sys.K.Clock.Now() - c.chargeFrom()))
 }
 
 // histKind maps a wire op to the checker's operation kind.

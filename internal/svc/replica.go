@@ -10,6 +10,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/overload"
 )
 
 // PortName is the wire name every replica exports its service port
@@ -79,6 +80,22 @@ type ReplicaConfig struct {
 	// QueueLimit sizes the service port's message queue (default 64).
 	QueueLimit int
 	Stats      *ReplicaStats
+
+	// Overload arms the replica-tier overload controls when Enabled:
+	// the deadline check and the CoDel admission controller run on
+	// every dequeued client op, shedding dead or inadmissible work with
+	// a cheap typed reply before any apply or replication. Ov is the
+	// shedding scoreboard (durable, like Stats). Replication traffic is
+	// never shed: an accepted write always finishes replicating.
+	Overload overload.Policy
+	Ov       *overload.Stats
+
+	// BreakOverload deliberately services an already-expired write
+	// (applying it to the store) while still telling the client it was
+	// shed — the negative control proving the linearizability checker
+	// catches a tier that applies work it claimed to drop. Never set
+	// outside tests and machsim -breakoverload.
+	BreakOverload bool
 
 	// AckLog records every (group, epoch) this rank acknowledged a client
 	// write under. Durable (it models the fsynced commit record), so the
@@ -175,6 +192,11 @@ type Replica struct {
 	lastRejoin   machine.Time
 	lastActivity machine.Time
 
+	// codel is the admission controller over the service port's queue
+	// sojourn. Per-incarnation volatile state: a rebooted replica
+	// starts with an empty queue, so it starts with a fresh controller.
+	codel overload.CoDel
+
 	sendAct core.Action
 	recvAct core.Action
 }
@@ -195,6 +217,9 @@ func InstallReplica(s *kern.System, cfg *ReplicaConfig) {
 	if cfg.AckLog == nil {
 		cfg.AckLog = make(map[AckKey]uint64)
 	}
+	if cfg.Ov == nil {
+		cfg.Ov = &overload.Stats{}
+	}
 	if cfg.done == nil {
 		cfg.done = make([]bool, cfg.Clients)
 		cfg.doneLeft = cfg.Clients
@@ -206,6 +231,7 @@ func InstallReplica(s *kern.System, cfg *ReplicaConfig) {
 		seq:          make([]uint64, cfg.Map.Groups),
 		recovering:   cfg.boots > 1,
 		lastActivity: s.K.Clock.Now(),
+		codel:        overload.CoDel{Target: cfg.Overload.Target, Interval: cfg.Overload.Interval},
 	}
 	for i := range r.store {
 		r.store[i] = make(map[uint64]Entry)
@@ -450,6 +476,7 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 	w, ok := m.Body.(*Wire)
 	reply := m.Reply
 	ctx := m.Trace
+	deadline, enq := m.Deadline, m.EnqueuedAt
 	r.sys.IPC.FreeMessage(m)
 	if !ok {
 		return
@@ -463,6 +490,9 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 	}
 	switch w.Kind {
 	case MsgClientOp:
+		if r.shedClientOp(w, reply, now, deadline, enq, ctx) {
+			return
+		}
 		r.clientOp(w, reply, now, ctx)
 
 	case MsgReplicate:
@@ -623,6 +653,43 @@ func (r *Replica) handle(t *core.Thread, m *ipc.Message) {
 			r.push(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Found: true})
 		}
 	}
+}
+
+// shedClientOp runs the overload gates on a dequeued client op:
+// already-dead work is dropped as Expired (the client timed out long
+// ago; servicing it is pure waste), and the CoDel controller rejects
+// admissions whose queue sojourn stayed over target for a full
+// interval. Reports true when the op was shed — a typed reply is
+// queued, nothing was applied, nothing replicated.
+func (r *Replica) shedClientOp(w *Wire, reply *ipc.Port, now machine.Time, deadline, enq machine.Time, ctx obs.TraceContext) bool {
+	if !r.cfg.Overload.Enabled {
+		return false
+	}
+	if deadline != 0 && now >= deadline {
+		if r.cfg.BreakOverload && w.Op == OpPut {
+			// The deliberate bug: apply the write anyway, then claim it
+			// was shed. A later get observes a value whose put the
+			// history excludes — the phantom the checker must flag.
+			shard := r.cfg.Map.ShardOf(w.Key)
+			g := r.cfg.Map.GroupOf(shard)
+			r.seq[g]++
+			r.apply(shard, w.Key, w.Val, Version{Epoch: r.cfg.Leases.L[g].Epoch, Seq: r.seq[g]})
+		}
+		r.cfg.Ov.Expired++
+		if reply != nil {
+			r.pushT(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Expired: true}, ctx, now)
+		}
+		return true
+	}
+	if !r.codel.Admit(now, enq) {
+		r.cfg.Ov.Rejected++
+		if reply != nil {
+			r.pushT(reply, w.OpID|ReplyOpBit, &Wire{Kind: MsgReply, OpID: w.OpID, Rejected: true}, ctx, now)
+		}
+		return true
+	}
+	r.cfg.Ov.Admitted++
+	return false
 }
 
 // clientOp serves one Get/Put as leader, or redirects the client. ctx is

@@ -165,6 +165,15 @@ type Wire struct {
 	// NotLeader marks a MsgReply refusing a client op.
 	NotLeader bool
 
+	// Expired and Rejected type a refused reply (overload control): the
+	// tier shed the op before applying anything — Expired because its
+	// absolute deadline had already passed on dequeue, Rejected because
+	// admission was refused (CoDel sojourn over target). Both are
+	// definite no-ops, which is what lets the client record them as
+	// such for the linearizability checker.
+	Expired  bool
+	Rejected bool
+
 	// Epochs/Leaders are the rejoiner's durable lease view (MsgRejoin);
 	// Grants/Snap/Seqs answer it (MsgRejoinOK). Seqs carries the
 	// per-group replication sequence high-water so a re-granted leader

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/kern"
 	"repro/internal/machine"
+	"repro/internal/overload"
 )
 
 // FuzzKVOptions configures one fuzzing campaign.
@@ -32,6 +33,15 @@ type FuzzKVOptions struct {
 	// Break runs the deliberately broken replicas (KVSpec.Break) — the
 	// checker-must-catch-this mode.
 	Break bool
+	// Overload arms the overload controls on every schedule's run, so the
+	// campaign also fuzzes the shedding paths (deadline expiry, admission
+	// rejection, breaker fast-fails) against the same safety properties:
+	// shed ops must be definite no-ops.
+	Overload overload.Policy
+	// BreakOverload runs the replica that applies already-expired writes
+	// before claiming they were shed (KVSpec.BreakOverload) — the armed
+	// campaign's checker-must-catch-this mode.
+	BreakOverload bool
 	// OutDir, when nonempty, receives one history dump per schedule.
 	OutDir string
 	// Out receives progress lines (io.Discard when nil).
@@ -61,6 +71,17 @@ func fuzzRun(opt FuzzKVOptions, faultSeed uint64, rules []string) (fuzzVerdict, 
 	spec := DefaultKV()
 	spec.Parallel = opt.Parallel
 	spec.Break = opt.Break
+	spec.Overload = opt.Overload
+	spec.BreakOverload = opt.BreakOverload
+	if opt.BreakOverload {
+		// The phantom-write bug only fires when an expired write and a
+		// later read of the same key collide; the default script's key
+		// space is too sparse to catch it reliably, so armed break
+		// campaigns use the denser mix (same shape as kvOverloadSpec).
+		spec.Ops = 120
+		spec.Keyspan = 8
+		spec.PutPer10k = 5000
+	}
 	spec.FaultSeed = faultSeed
 	if len(rules) > 0 {
 		fs, err := fault.ParseSpec(strings.Join(rules, ","))
@@ -100,7 +121,7 @@ func fuzzSchedule(campaign uint64, i int) (uint64, []string) {
 	n := 1 + rng.Intn(3)
 	rules := make([]string, 0, n+1)
 	for r := 0; r < n; r++ {
-		switch rng.Intn(10) {
+		switch rng.Intn(11) {
 		case 0, 1, 2, 3:
 			rules = append(rules, "partition="+partitions[rng.Intn(len(partitions))]+window())
 		case 4, 5:
@@ -114,6 +135,11 @@ func fuzzSchedule(campaign uint64, i int) (uint64, []string) {
 				src, dst, 1+rng.Intn(8), window()))
 		case 8:
 			rules = append(rules, fmt.Sprintf("gray=%d:%d%s", 1+rng.Intn(2), 2+rng.Intn(9), window()))
+		case 9:
+			// Demand burst: inert for the closed-loop kv clients on its
+			// own, but it widens the trigger vocabulary the armed
+			// campaigns combine with gray/delay windows.
+			rules = append(rules, fmt.Sprintf("burst=%d%s", 2+rng.Intn(4), window()))
 		default:
 			rules = append(rules, fmt.Sprintf("crash=%d@%dms:reboot+%dms",
 				rng.Intn(4), 20+rng.Intn(61), 10+rng.Intn(91)))
@@ -190,20 +216,30 @@ func FuzzKV(opt FuzzKVOptions) (FuzzKVResult, error) {
 		min := fuzzShrink(opt, seed, rules)
 		fz.MinSpec, fz.MinSeed = strings.Join(min, ","), seed
 		if len(min) == 0 {
-			fmt.Fprintf(out, "  violates with no faults at all; reproduce with: machsim -workload kv -breakkv\n")
+			fmt.Fprintf(out, "  violates with no faults at all; reproduce with: machsim -workload kv%s\n",
+				fuzzFlagSuffix(opt))
 			continue
 		}
 		fmt.Fprintf(out, "  minimal repro (shrunk from %d rules): machsim -workload kv -faults %d:%s%s\n",
-			len(rules), seed, fz.MinSpec, breakFlagSuffix(opt.Break))
+			len(rules), seed, fz.MinSpec, fuzzFlagSuffix(opt))
 	}
 	return fz, nil
 }
 
-func breakFlagSuffix(broken bool) string {
-	if broken {
-		return " -breakkv"
+// fuzzFlagSuffix renders the campaign's build-variant flags so the
+// printed repro command really reproduces the run.
+func fuzzFlagSuffix(opt FuzzKVOptions) string {
+	var s string
+	if opt.Break {
+		s += " -breakkv"
 	}
-	return ""
+	if opt.Overload.Enabled {
+		s += " -overload " + opt.Overload.String()
+	}
+	if opt.BreakOverload {
+		s += " -breakoverload"
+	}
+	return s
 }
 
 // dumpHistory writes one schedule's recorded client history — the

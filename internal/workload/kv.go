@@ -20,6 +20,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/svc"
 )
 
@@ -68,6 +69,17 @@ type KVSpec struct {
 	// checker exists to catch. Never set outside tests and machsim's
 	// -breakkv flag.
 	Break bool
+	// Overload arms the end-to-end overload controls (-overload on):
+	// client deadlines stamped into the wire header, per-client retry
+	// budgets, a breaker per client machine, and deadline shedding plus
+	// CoDel admission at the replicas. The zero value leaves every
+	// legacy path untouched.
+	Overload overload.Policy
+	// BreakOverload runs the deliberately broken replica that applies an
+	// already-expired write before claiming it was shed — the phantom
+	// write the linearizability checker must flag. Never set outside
+	// tests and machsim's -breakoverload flag.
+	BreakOverload bool
 }
 
 // svcTimeouts is the resolved timeout provisioning for a service
@@ -151,6 +163,37 @@ type KVResult struct {
 	// Topo is the scheduled topology-fault plan (nil when the spec has
 	// no partition/link/gray rules).
 	Topo *fault.Topology
+	// Policy echoes the armed overload policy (nil on legacy runs);
+	// ClientOv holds each client machine's shedding scoreboard.
+	Policy   *overload.Policy
+	ClientOv []*overload.Stats
+}
+
+// ClientOvTotals sums the client machines' shedding counters.
+func (r *KVResult) ClientOvTotals() overload.Stats {
+	var t overload.Stats
+	for _, s := range r.ClientOv {
+		t.Expired += s.Expired
+		t.Rejected += s.Rejected
+		t.BudgetDenied += s.BudgetDenied
+		t.BreakerFastFail += s.BreakerFastFail
+		t.BreakerOpens += s.BreakerOpens
+	}
+	return t
+}
+
+// ReplicaOvTotals sums the replica tier's shedding counters.
+func (r *KVResult) ReplicaOvTotals() overload.Stats {
+	var t overload.Stats
+	for _, cfg := range r.Replicas {
+		if cfg == nil || cfg.Ov == nil {
+			continue
+		}
+		t.Admitted += cfg.Ov.Admitted
+		t.Expired += cfg.Ov.Expired
+		t.Rejected += cfg.Ov.Rejected
+	}
+	return t
 }
 
 // ReplicaTotals sums the two replicas' service counters.
@@ -307,7 +350,8 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 			Rank: rank, PeerRank: svc.NumRanks - 1 - rank,
 			Map: smap, PeerLink: 2, Clients: 2 * clientsPer,
 			RenewEvery: tmo.renewEvery, IdleExit: tmo.idleExit,
-			Break: spec.Break,
+			Break:    spec.Break,
+			Overload: spec.Overload, BreakOverload: spec.BreakOverload,
 		}
 		res.Replicas[rank] = rcfg
 		s.RegisterService("kv-replica", func(s *kern.System) {
@@ -318,8 +362,22 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 	// Callers: the program objects are durable (script position, acked
 	// map, stats survive their machine's crash); the installer re-arms
 	// each with a fresh reply port and thread per incarnation.
+	pol := spec.Overload
+	if pol.Enabled {
+		res.Policy = &pol
+	}
 	var clis []*svc.Caller
 	mkClients := func(s *kern.System, base int, tag string) {
+		// Overload state shared within one client machine only: the
+		// breaker and scoreboard are per machine (the parallel driver
+		// serializes a machine's threads), retry budgets per caller.
+		var ov *overload.Stats
+		var brk *overload.Breaker
+		if pol.Enabled {
+			ov = &overload.Stats{}
+			brk = overload.NewBreaker(pol.Breaker, pol.Cooldown, spec.Seed^uint64(base+1)*0x9e3779b97f4a7c15)
+			res.ClientOv = append(res.ClientOv, ov)
+		}
 		mine := make([]*svc.Caller, clientsPer)
 		for j := 0; j < clientsPer; j++ {
 			id := base + j
@@ -327,9 +385,13 @@ func bootKV(flavor kern.Flavor, arch machine.Arch, spec KVSpec) (*KVResult, []*s
 				Sys: s, Name: fmt.Sprintf("%s%d", tag, j), ID: id,
 				Map: smap, Links: [svc.NumRanks]int{0, 1},
 				Timeout: tmo.rpcTimeout, HistName: "kv.op",
-				Ops:    kvOps(spec.Seed, id, ops, spec.Keyspan, spec.PutPer10k),
-				Track:  true,
-				Record: true,
+				Ops:      kvOps(spec.Seed, id, ops, spec.Keyspan, spec.PutPer10k),
+				Track:    true,
+				Record:   true,
+				Overload: &pol, Breaker: brk, OvStats: ov,
+			}
+			if pol.Enabled {
+				cli.Budget = overload.NewRetryBudget(pol.Budget, pol.Refill)
 			}
 			mine[j] = cli
 			clis = append(clis, cli)
@@ -410,6 +472,14 @@ func WriteKVReport(w io.Writer, flavor kern.Flavor, arch machine.Arch, res *KVRe
 		t.Gets, t.Puts, t.Replicated, t.SoloAcks, t.Merged, t.Stalled)
 	fmt.Fprintf(w, "  client redirects %d, failovers %d, ops salvaged %d\n",
 		res.Redirects, res.Failovers, res.Salvaged)
+	if res.Policy != nil {
+		co, ro := res.ClientOvTotals(), res.ReplicaOvTotals()
+		fmt.Fprintf(w, "overload: %s\n", res.Policy)
+		fmt.Fprintf(w, "  client: %d expired, %d rejected, %d budget-denied, %d breaker-fastfail, %d breaker-opens\n",
+			co.Expired, co.Rejected, co.BudgetDenied, co.BreakerFastFail, co.BreakerOpens)
+		fmt.Fprintf(w, "  replicas: %d admitted, %d expired, %d rejected\n",
+			ro.Admitted, ro.Expired, ro.Rejected)
+	}
 	fmt.Fprintf(w, "checker: %s; split brain: %s\n", res.Check, splitBrainStr(res.SplitBrain))
 	writeServiceLatency(w, res.Machines, res.Elapsed, []string{"kv.op", "kv.replicate"})
 	writeCritPathSection(w, res.Machines)

@@ -211,7 +211,7 @@ func TestFuzzKV(t *testing.T) {
 	}
 
 	opt.Break = true
-	opt.Count = 1 // campaign 7's first schedule already catches the break
+	opt.Count = 4 // campaign 7's fourth schedule catches the break
 	var out bytes.Buffer
 	opt.Out = &out
 	res, err = FuzzKV(opt)

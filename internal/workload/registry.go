@@ -92,6 +92,13 @@ func Registry() []RegisteredWorkload {
 			spec.DebugChecks = true
 			return MTLoadReport(kern.MK40, machine.ArchDS3100, spec)
 		}},
+		{Name: "storm", Report: func(parallel bool) string {
+			// Controls-on arm: fast (the off arm's collapsed drain is
+			// covered by the storm tests, not the registry sweep).
+			spec := DefaultStorm()
+			spec.Parallel = parallel
+			return StormReport(kern.MK40, machine.ArchDS3100, spec)
+		}},
 		{Name: "svcgraph", Report: func(parallel bool) string {
 			spec := DefaultSvcGraph()
 			spec.FaultSpec.Crashes = []fault.Crash{{
